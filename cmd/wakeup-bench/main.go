@@ -1,0 +1,62 @@
+// Command wakeup-bench regenerates every experiment table in DESIGN.md §5 /
+// EXPERIMENTS.md. Each table reproduces one theorem-backed claim of the
+// paper as a measured shape.
+//
+// Examples:
+//
+//	wakeup-bench                 # full sweeps (minutes)
+//	wakeup-bench -quick          # CI-sized sweeps (seconds)
+//	wakeup-bench -only T4,T6     # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"nsmac/internal/experiments"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "CI-sized sweeps")
+		trials  = flag.Int("trials", 0, "override per-cell trial count")
+		seed    = flag.Uint64("seed", 20130527, "experiment seed (default: IPDPS 2013 conference date)")
+		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Trials: *trials, Seed: *seed, Workers: *workers}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.Lookup(id)
+			if !ok {
+				fmt.Fprintf(os.Stderr, "wakeup-bench: unknown experiment %q\n", id)
+				os.Exit(1)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	mode := "full"
+	if *quick {
+		mode = "quick"
+	}
+	fmt.Printf("# nsmac experiment suite — mode=%s seed=%d\n", mode, *seed)
+	fmt.Printf("# reproducing De Marco & Kowalski (IPDPS 2013); see DESIGN.md §5\n\n")
+
+	for _, e := range selected {
+		start := time.Now()
+		tbl := e.Run(cfg)
+		fmt.Print(tbl.Render())
+		fmt.Printf("   (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

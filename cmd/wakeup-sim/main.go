@@ -1,0 +1,149 @@
+// Command wakeup-sim runs one contention-resolution instance and prints the
+// outcome, optionally with the channel transcript and the Figure 1/2 matrix
+// renderings.
+//
+// Examples:
+//
+//	wakeup-sim -algo wakeupc -n 1024 -k 8 -pattern staggered -gap 7
+//	wakeup-sim -algo wakeup_with_k -n 4096 -k 16 -pattern uniform -trace
+//	wakeup-sim -algo wakeupc -n 256 -k 3 -render
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nsmac/internal/adversary"
+	"nsmac/internal/core"
+	"nsmac/internal/model"
+	"nsmac/internal/sim"
+	"nsmac/internal/trace"
+)
+
+func main() {
+	var (
+		algoName = flag.String("algo", "wakeupc", "algorithm: roundrobin | wakeup_with_s | wakeup_with_k | wakeupc | rpd | rpdk | localssf")
+		n        = flag.Int("n", 1024, "universe size (station IDs 1..n)")
+		k        = flag.Int("k", 8, "number of stations the adversary wakes")
+		s        = flag.Int64("s", 0, "first wake-up slot")
+		pattern  = flag.String("pattern", "simultaneous", "wake pattern: simultaneous | staggered | uniform | bursts")
+		gap      = flag.Int64("gap", 7, "gap for staggered/bursts patterns")
+		width    = flag.Int64("width", 64, "window width for the uniform pattern")
+		seed     = flag.Uint64("seed", 1, "random seed (schedules and pattern)")
+		horizon  = flag.Int64("horizon", 0, "simulation cap (0 = algorithm's own bound)")
+		showTr   = flag.Bool("trace", false, "print the channel transcript timeline")
+		render   = flag.Bool("render", false, "print the Figure 1/2 matrix renderings (wakeupc only)")
+	)
+	flag.Parse()
+
+	if *k < 1 || *k > *n {
+		fail("need 1 <= k <= n")
+	}
+
+	p := model.Params{N: *n, S: -1, Seed: *seed}
+	var algo model.Algorithm
+	var hor int64
+	switch *algoName {
+	case "roundrobin":
+		a := core.NewRoundRobin()
+		algo, hor = a, a.Horizon(*n, *k)
+	case "wakeup_with_s":
+		p.S = *s
+		algo, hor = core.NewWakeupWithS(), core.WakeupWithSHorizon(*n, *k)
+	case "wakeup_with_k":
+		p.K = *k
+		algo, hor = core.NewWakeupWithK(), core.WakeupWithKHorizon(*n, *k)
+	case "wakeupc":
+		a := core.NewWakeupC()
+		algo, hor = a, a.Horizon(*n, *k)
+	case "rpd":
+		a := core.NewRPD()
+		algo, hor = a, a.Horizon(*n, *k)
+	case "rpdk":
+		p.K = *k
+		a := core.NewRPDWithK()
+		algo, hor = a, a.Horizon(*n, *k)
+	case "localssf":
+		p.K = *k
+		a := core.NewLocalSSF()
+		algo, hor = a, a.Horizon(*n, *k)
+	default:
+		fail("unknown algorithm %q", *algoName)
+	}
+	if *horizon > 0 {
+		hor = *horizon
+	}
+
+	var gen adversary.Generator
+	switch *pattern {
+	case "simultaneous":
+		gen = adversary.Simultaneous(*s)
+	case "staggered":
+		gen = adversary.Staggered(*s, *gap)
+	case "uniform":
+		gen = adversary.UniformWindow(*s, *width)
+	case "bursts":
+		gen = adversary.Bursts(*s, 4, *gap)
+	default:
+		fail("unknown pattern %q", *pattern)
+	}
+	w := gen.Generate(*n, *k, *seed)
+
+	fmt.Printf("algorithm : %s\n", algo.Name())
+	fmt.Printf("universe  : n=%d, k=%d awake\n", *n, *k)
+	fmt.Printf("pattern   : %s  ids=%v wakes=%v\n", gen.Name, w.IDs, w.Wakes)
+	fmt.Printf("horizon   : %d slots\n", hor)
+
+	res, ch, err := sim.Run(algo, p, w, sim.Options{
+		Horizon: hor, Seed: *seed, RecordTrace: *showTr,
+	})
+	if err != nil {
+		fail("run: %v", err)
+	}
+	fmt.Printf("result    : %s\n", res)
+	if res.Succeeded {
+		bound := float64(res.Rounds)
+		_ = bound
+		fmt.Printf("rounds    : %d (t−s, the paper's cost measure)\n", res.Rounds)
+	}
+
+	if *showTr {
+		fmt.Println("\ntranscript:")
+		fmt.Println(trace.Legend())
+		fmt.Println(trace.Timeline(ch.Trace(), 100))
+	}
+
+	if *render {
+		wc, ok := algo.(*core.WakeupC)
+		if !ok {
+			fail("-render requires -algo wakeupc")
+		}
+		spec := wc.Spec(p)
+		fmt.Println("\nFigure 1 analogue — rows scanned over time:")
+		to := res.SuccessSlot + 1
+		if to < 40 {
+			to = 40
+		}
+		step := (to - w.FirstWake()) / 16
+		if step < 1 {
+			step = 1
+		}
+		fmt.Print(trace.RowScan(spec, w.IDs, w.Wakes, w.FirstWake(), to, step))
+		fmt.Println("\nFigure 2 analogue — vertical alignment at the success slot:")
+		at := res.SuccessSlot
+		if at < 0 {
+			at = w.LastWake() + int64(spec.Window)
+		}
+		fmt.Print(trace.ColumnAlignment(spec, w.IDs, w.Wakes, at))
+	}
+
+	if !res.Succeeded {
+		os.Exit(2)
+	}
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wakeup-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

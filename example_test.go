@@ -1,0 +1,97 @@
+package nsmac_test
+
+import (
+	"fmt"
+
+	"nsmac"
+)
+
+// The basic Scenario C flow: nothing is known except n, three stations wake
+// at arbitrary slots, and wakeup(n) isolates one of them.
+func Example() {
+	p := nsmac.ScenarioC(1024, 42)
+	w := nsmac.WakePattern{
+		IDs:   []int{37, 502, 999},
+		Wakes: []int64{5, 19, 23},
+	}
+	algo := nsmac.NewWakeupC()
+	res, _, err := nsmac.Run(algo, p, w, nsmac.RunOptions{
+		Horizon: algo.Horizon(p.N, w.K()),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("succeeded:", res.Succeeded)
+	fmt.Println("rounds within bound:", res.Rounds <= nsmac.BoundKLogLogLog(p.N, w.K()))
+	// Output:
+	// succeeded: true
+	// rounds within bound: true
+}
+
+// Scenario A: the start slot s is known (e.g. announced by a beacon), so
+// stations woken at s run the selective-family ladder from a common origin.
+func ExampleNewWakeupWithS() {
+	const s = 50
+	p := nsmac.Params{N: 2048, S: s, Seed: 7}
+	w := nsmac.Simultaneous([]int{101, 480, 777}, s)
+	res, _, err := nsmac.Run(nsmac.NewWakeupWithS(), p, w, nsmac.RunOptions{
+		Horizon: nsmac.WakeupWithSHorizon(p.N, w.K()),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("succeeded:", res.Succeeded)
+	fmt.Println("cost measured from s:", res.Rounds == res.SuccessSlot-s)
+	// Output:
+	// succeeded: true
+	// cost measured from s: true
+}
+
+// Scenario B: the bound k is known; wait_and_go synchronizes stragglers on
+// selective-family boundaries.
+func ExampleNewWakeupWithK() {
+	p := nsmac.Params{N: 512, K: 4, S: -1, Seed: 3}
+	w := nsmac.WakePattern{
+		IDs:   []int{10, 20, 30, 40},
+		Wakes: []int64{0, 5, 9, 33},
+	}
+	res, _, err := nsmac.Run(nsmac.NewWakeupWithK(), p, w, nsmac.RunOptions{
+		Horizon: nsmac.WakeupWithKHorizon(p.N, p.K),
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("succeeded:", res.Succeeded)
+	// Output:
+	// succeeded: true
+}
+
+// The Theorem 2.1 lower bound, found constructively: the swap adversary
+// drags round-robin through at least min{k, n−k+1} slots.
+func ExampleSwapAdversary() {
+	p := nsmac.Params{N: 32, S: -1, Seed: 4}
+	res := nsmac.SwapAdversary(nsmac.NewRoundRobin(), p, 6, 40, false)
+	fmt.Println("meets Thm 2.1 bound:", res.ForcedRounds+1 >= nsmac.BoundLower(32, 6))
+	fmt.Println("witness size:", len(res.Witness))
+	// Output:
+	// meets Thm 2.1 bound: true
+	// witness size: 6
+}
+
+// Conflict resolution (the Komlós–Greenberg objective): every awake station
+// transmits alone; stations retire when they hear their own ID succeed.
+func ExampleRunAll() {
+	p := nsmac.Params{N: 64, K: 3, S: -1, Seed: 5}
+	w := nsmac.Simultaneous([]int{2, 17, 40}, 0)
+	all, err := nsmac.RunAll(nsmac.NewKGConflictResolution(), p, w, nsmac.RunOptions{
+		Horizon: 4000, Seed: 5,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("all delivered:", all.Succeeded)
+	fmt.Println("stations served:", len(all.FirstSuccess))
+	// Output:
+	// all delivered: true
+	// stations served: 3
+}

@@ -1,0 +1,66 @@
+// Adversarial: Theorem 2.1 in action. The swap adversary plays against
+// round-robin and against wakeup_with_k, repeatedly replacing the station
+// the algorithm isolates with a fresh one, and drags both through at least
+// min{k, n−k+1} rounds — the paper's lower bound, found constructively.
+package main
+
+import (
+	"fmt"
+
+	"nsmac"
+)
+
+func main() {
+	const (
+		n = 64
+		k = 12
+	)
+	bound := nsmac.BoundLower(n, k)
+	fmt.Printf("Theorem 2.1: any algorithm needs ≥ min{k, n−k+1} = %d rounds (n=%d, k=%d)\n\n", bound, n, k)
+
+	// Round-robin: the adversary walks the witness set along the residue
+	// wheel, forcing close to n−k+1 rounds.
+	rr := nsmac.NewRoundRobin()
+	pRR := nsmac.Params{N: n, S: -1, Seed: 99}
+	resRR := nsmac.SwapAdversary(rr, pRR, k, int64(n)+2, false)
+	report("round_robin", resRR)
+
+	// wakeup_with_k: the upper-bound algorithm cannot escape the lower
+	// bound either — no algorithm can.
+	wwk := nsmac.NewWakeupWithK()
+	pK := nsmac.Params{N: n, K: k, S: -1, Seed: 99}
+	resK := nsmac.SwapAdversary(wwk, pK, k, nsmac.WakeupWithKHorizon(n, k), false)
+	report("wakeup_with_k", resK)
+
+	// Greedy adversary: strictly stronger probing (tries every candidate
+	// replacement station).
+	resG := nsmac.SwapAdversary(rr, pRR, k, int64(n)+2, true)
+	fmt.Printf("greedy adversary vs round_robin: forced %d slots (plain forced %d)\n\n",
+		resG.ForcedRounds+1, resRR.ForcedRounds+1)
+
+	// The spoiler attack: wake a colliding partner at every would-be
+	// success. Against the full interleaved algorithm the damage is capped
+	// by the collision-free round-robin component (starting from the
+	// station whose residue comes up last probes the worst case), while
+	// the wait barrier blocks all mid-family spoils in the selective
+	// component.
+	spStd := nsmac.SpoilerAdversary(wwk, pK, k, nsmac.WakeupWithKHorizon(n, k))
+	spWorst := nsmac.SpoilerAdversaryFrom(wwk, pK, k, nsmac.WakeupWithKHorizon(n, k), n)
+	fmt.Printf("spoiler vs wakeup_with_k     : %d rounds from station 1, %d rounds from station %d\n",
+		spStd.Rounds, spWorst.Rounds, n)
+	fmt.Printf("  (%d and %d successes spoiled; round-robin slots are unspoilable,\n",
+		spStd.Spoiled, spWorst.Spoiled)
+	fmt.Println("   so interleaving caps the damage at O(n) no matter what)")
+}
+
+func report(name string, r nsmac.SwapResult) {
+	fmt.Printf("%s:\n", name)
+	fmt.Printf("  forced slots     : %d (theorem bound %d)\n", r.ForcedRounds+1, r.TheoremBound)
+	fmt.Printf("  distinct rounds  : %d across %d witness sets\n", r.DistinctRounds, r.Iterations)
+	fmt.Printf("  witness set      : %v (simultaneous wake at 0)\n", r.Witness)
+	if r.ForcedRounds+1 >= r.TheoremBound {
+		fmt.Printf("  verdict          : lower bound REPRODUCED\n\n")
+	} else {
+		fmt.Printf("  verdict          : adversary weaker than theorem (unexpected)\n\n")
+	}
+}

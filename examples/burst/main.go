@@ -1,0 +1,69 @@
+// Burst: an Ethernet-like segment where a power event wakes 16 of 4096
+// stations in a short window — the paper's motivating workload ("most
+// transmitters are inactive most of the time, while only a few are busy",
+// §1). The example compares every applicable algorithm on the same burst
+// and shows the selective-family algorithms beating time-division
+// multiplexing by orders of magnitude at k ≪ n.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nsmac"
+)
+
+func main() {
+	const (
+		n = 4096
+		k = 16
+	)
+
+	// 16 stations wake within a 4-slot window after the event at slot 100 —
+	// dense enough that many contend before anyone can win.
+	ids := []int{12, 99, 256, 300, 511, 777, 1024, 1500,
+		2000, 2222, 2600, 3000, 3333, 3800, 4000, 4096}
+	wakes := make([]int64, k)
+	for i := range wakes {
+		wakes[i] = 100 + int64(i%4) // four waves, four stations each
+	}
+	w := nsmac.WakePattern{IDs: ids, Wakes: wakes}
+
+	type entry struct {
+		name    string
+		algo    nsmac.Algorithm
+		p       nsmac.Params
+		horizon int64
+	}
+	wc := nsmac.NewWakeupC()
+	entries := []entry{
+		{"round_robin (TDM)", nsmac.NewRoundRobin(),
+			nsmac.Params{N: n, S: -1, Seed: 7}, int64(n) + 2},
+		{"wakeup_with_k (B: k known)", nsmac.NewWakeupWithK(),
+			nsmac.Params{N: n, K: k, S: -1, Seed: 7}, nsmac.WakeupWithKHorizon(n, k)},
+		{"wakeup(n)    (C: nothing)", wc,
+			nsmac.Params{N: n, S: -1, Seed: 7}, wc.Horizon(n, k)},
+		{"rpd          (randomized)", nsmac.NewRPD(),
+			nsmac.Params{N: n, S: -1, Seed: 7}, nsmac.NewRPD().Horizon(n, k)},
+	}
+
+	fmt.Printf("burst workload: n=%d, k=%d stations waking over 4 slots\n", n, k)
+	fmt.Printf("bounds: k·log(n/k)+k+1 = %d   k·log n·log log n = %d   TDM = %d\n\n",
+		nsmac.BoundKLogNK(n, k), nsmac.BoundKLogLogLog(n, k), n)
+	fmt.Printf("%-30s %10s %10s\n", "algorithm", "rounds", "winner")
+
+	for _, e := range entries {
+		res, _, err := nsmac.Run(e.algo, e.p, w, nsmac.RunOptions{Horizon: e.horizon, Seed: 7})
+		if err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		if !res.Succeeded {
+			fmt.Printf("%-30s %10s %10s\n", e.name, "FAIL", "-")
+			continue
+		}
+		fmt.Printf("%-30s %10d %10d\n", e.name, res.Rounds, res.Winner)
+	}
+
+	fmt.Println("\nthe selective-family algorithms resolve the burst in a tiny")
+	fmt.Println("fraction of the TDM cost — the gap the paper quantifies.")
+}

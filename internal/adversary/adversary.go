@@ -1,0 +1,257 @@
+// Package adversary supplies the workloads that stress contention
+// resolution: wake-pattern generators covering the spectrum from
+// simultaneous to adversarially staggered, and the Theorem 2.1 swap
+// adversary that searches for a witness set forcing any algorithm to spend
+// min{k, n−k+1} rounds.
+package adversary
+
+import (
+	"fmt"
+
+	"nsmac/internal/mathx"
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+	"nsmac/internal/sim"
+)
+
+// Generator names a reproducible wake-pattern family. Generate draws the
+// pattern for a given (n, k, seed); implementations must be deterministic
+// in their arguments.
+type Generator struct {
+	// Name identifies the pattern family in experiment tables.
+	Name string
+	// Generate draws a wake pattern with exactly k distinct stations.
+	Generate func(n, k int, seed uint64) model.WakePattern
+}
+
+// Simultaneous wakes k random stations at slot s.
+func Simultaneous(s int64) Generator {
+	return Generator{
+		Name: fmt.Sprintf("simultaneous@%d", s),
+		Generate: func(n, k int, seed uint64) model.WakePattern {
+			return model.Simultaneous(rng.New(seed).Sample(n, k), s)
+		},
+	}
+}
+
+// Staggered wakes k random stations one every gap slots starting at s: the
+// canonical non-synchronized pattern.
+func Staggered(s, gap int64) Generator {
+	return Generator{
+		Name: fmt.Sprintf("staggered(gap=%d)", gap),
+		Generate: func(n, k int, seed uint64) model.WakePattern {
+			ids := rng.New(seed).Sample(n, k)
+			wakes := make([]int64, k)
+			for i := range wakes {
+				wakes[i] = s + int64(i)*gap
+			}
+			return model.WakePattern{IDs: ids, Wakes: wakes}
+		},
+	}
+}
+
+// UniformWindow wakes k random stations uniformly inside [s, s+width].
+func UniformWindow(s, width int64) Generator {
+	if width < 0 {
+		panic("adversary: negative window width")
+	}
+	return Generator{
+		Name: fmt.Sprintf("uniform(window=%d)", width),
+		Generate: func(n, k int, seed uint64) model.WakePattern {
+			src := rng.New(seed)
+			ids := src.Sample(n, k)
+			wakes := make([]int64, k)
+			wakes[0] = s // pin the start so s is deterministic
+			for i := 1; i < k; i++ {
+				wakes[i] = s + src.Int63n(width+1)
+			}
+			return model.WakePattern{IDs: ids, Wakes: wakes}
+		},
+	}
+}
+
+// Bursts wakes k stations in `bursts` equal groups, groups separated by gap
+// slots: models correlated arrival waves (e.g. power restoration).
+func Bursts(s int64, bursts int, gap int64) Generator {
+	if bursts < 1 {
+		panic("adversary: bursts must be >= 1")
+	}
+	return Generator{
+		Name: fmt.Sprintf("bursts(%d,gap=%d)", bursts, gap),
+		Generate: func(n, k int, seed uint64) model.WakePattern {
+			ids := rng.New(seed).Sample(n, k)
+			wakes := make([]int64, k)
+			per := mathx.Max(1, mathx.CeilDiv(k, bursts))
+			for i := range wakes {
+				wakes[i] = s + int64(i/per)*gap
+			}
+			return model.WakePattern{IDs: ids, Wakes: wakes}
+		},
+	}
+}
+
+// Suite returns the standard battery used by the experiments: the paper's
+// worst cases are spread across synchrony regimes.
+func Suite() []Generator {
+	return []Generator{
+		Simultaneous(0),
+		Staggered(0, 1),
+		Staggered(0, 13),
+		UniformWindow(0, 64),
+		Bursts(0, 4, 17),
+	}
+}
+
+// WorstOf evaluates the algorithm across generators × seeds and returns the
+// worst observed rounds plus the pattern achieving it. Failed runs count as
+// horizon rounds (worse than any success).
+func WorstOf(algo model.Algorithm, p model.Params, gens []Generator,
+	k int, seeds int, horizon int64) (int64, model.WakePattern) {
+
+	worst := int64(-1)
+	var worstPat model.WakePattern
+	for _, g := range gens {
+		for sd := 0; sd < seeds; sd++ {
+			w := g.Generate(p.N, k, rng.Derive(p.Seed, uint64(sd)+uint64(len(g.Name))<<32))
+			res, _, err := sim.Run(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed})
+			if err != nil {
+				continue // knowledge-inconsistent generator for these params
+			}
+			rounds := res.Rounds
+			if !res.Succeeded {
+				rounds = horizon
+			}
+			if rounds > worst {
+				worst = rounds
+				worstPat = w
+			}
+		}
+	}
+	return worst, worstPat
+}
+
+// SwapResult reports a Theorem 2.1 adversary search.
+type SwapResult struct {
+	// ForcedRounds is the largest first-success round the adversary forced
+	// (the empirical lower bound on the algorithm's worst case).
+	ForcedRounds int64
+	// DistinctRounds is how many distinct first-success rounds appeared
+	// across the explored witness sets — the quantity the theorem's
+	// counting argument actually bounds.
+	DistinctRounds int
+	// Witness is the station set achieving ForcedRounds (simultaneous wake
+	// at slot 0).
+	Witness []int
+	// TheoremBound is min{k, n−k+1}.
+	TheoremBound int64
+	// Iterations is how many swap steps were executed.
+	Iterations int
+}
+
+// Swap runs the Theorem 2.1 adversary against a deterministic algorithm:
+// starting from a k-subset X ⊆ [n] waking simultaneously at slot 0, it
+// repeatedly simulates, observes which station x the algorithm isolates
+// first and at which round r, then replaces x by a fresh station y never
+// used before. Each swap invalidates round r for the new set, so the
+// algorithm is dragged through min{k, n−k} distinct success rounds — the
+// proof's counting argument made executable.
+//
+// When greedy is true, each step tries every available y and keeps the one
+// maximizing the next first-success round (a stronger but slower probe).
+func Swap(algo model.Algorithm, p model.Params, k int, horizon int64, greedy bool) SwapResult {
+	n := p.N
+	if k < 1 || k > n {
+		panic("adversary: Swap requires 1 <= k <= n")
+	}
+	src := rng.New(rng.Derive(p.Seed, 0xad))
+
+	inX := make([]bool, n+1)
+	used := make([]bool, n+1) // stations ever swapped in or out
+	x0 := src.Sample(n, k)
+	for _, id := range x0 {
+		inX[id] = true
+		used[id] = true
+	}
+
+	current := append([]int(nil), x0...)
+	res := SwapResult{TheoremBound: mathx.BoundLowerMinKN(n, k)}
+	roundsSeen := map[int64]bool{}
+
+	simulate := func(set []int) (int64, int, bool) {
+		w := model.Simultaneous(set, 0)
+		r, _, err := sim.Run(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed})
+		if err != nil || !r.Succeeded {
+			return horizon, 0, false
+		}
+		return r.Rounds, r.Winner, true
+	}
+
+	nextFresh := func() int {
+		for id := 1; id <= n; id++ {
+			if !used[id] && !inX[id] {
+				return id
+			}
+		}
+		return 0
+	}
+
+	replace := func(set []int, out, in int) []int {
+		cp := make([]int, 0, len(set))
+		for _, id := range set {
+			if id != out {
+				cp = append(cp, id)
+			}
+		}
+		return append(cp, in)
+	}
+
+	for {
+		r, winner, ok := simulate(current)
+		if !ok {
+			// Algorithm failed outright: the witness already forces the
+			// horizon; report and stop.
+			res.ForcedRounds = horizon
+			res.Witness = append([]int(nil), current...)
+			return res
+		}
+		if !roundsSeen[r] {
+			roundsSeen[r] = true
+			res.DistinctRounds++
+		}
+		if r > res.ForcedRounds {
+			res.ForcedRounds = r
+			res.Witness = append([]int(nil), current...)
+		}
+		res.Iterations++
+
+		var y int
+		if greedy {
+			// Try every unused candidate and keep the worst for the
+			// algorithm.
+			bestR, bestY := int64(-1), 0
+			for cand := 1; cand <= n; cand++ {
+				if used[cand] || inX[cand] {
+					continue
+				}
+				candSet := replace(current, winner, cand)
+				cr, _, cok := simulate(candSet)
+				if !cok {
+					cr = horizon
+				}
+				if cr > bestR {
+					bestR, bestY = cr, cand
+				}
+			}
+			y = bestY
+		} else {
+			y = nextFresh()
+		}
+		if y == 0 {
+			return res // complement exhausted: the proof's iteration bound
+		}
+		inX[winner] = false
+		used[y] = true
+		inX[y] = true
+		current = replace(current, winner, y)
+	}
+}

@@ -1,0 +1,103 @@
+package adversary
+
+import (
+	"nsmac/internal/model"
+)
+
+// SpoilerResult reports a white-box spoiler attack.
+type SpoilerResult struct {
+	// Pattern is the constructed wake pattern (first station plus every
+	// spoiler the adversary injected).
+	Pattern model.WakePattern
+	// Rounds is the first-success round (t − s) under the attack, or
+	// horizon if the attack suppressed success entirely.
+	Rounds int64
+	// Spoiled counts how many would-be successes the adversary disrupted.
+	Spoiled int
+	// Succeeded reports whether the algorithm still woke up within the
+	// horizon despite the attack.
+	Succeeded bool
+}
+
+// Spoiler mounts the strongest wake-time attack the model allows against a
+// deterministic algorithm: it simulates the run slot by slot and, whenever
+// the next slot would carry a solo transmission, wakes a fresh station
+// whose schedule also transmits in that slot — converting the success into
+// a collision. It stops injecting when the budget of k−1 spoilers is spent.
+//
+// This is exactly the adversary the §4 wait barrier and the §5 µ(σ) window
+// alignment neutralize: a station woken mid-family (mid-window) stays
+// silent until the next boundary, so it CANNOT be used to spoil the current
+// slot, and the selectivity/isolation guarantee survives. Ablated variants
+// that transmit immediately after waking hand the adversary that weapon
+// back; T8 measures the resulting damage.
+func Spoiler(algo model.Algorithm, p model.Params, k int, horizon int64) SpoilerResult {
+	return SpoilerFrom(algo, p, k, horizon, 1)
+}
+
+// SpoilerFrom is Spoiler with an explicit choice of the initial station
+// (the one that wakes at slot 0 and defines s). Against interleaved
+// algorithms the initial station's round-robin slot bounds the attack, so
+// picking a station whose residue comes up late probes the worst case.
+func SpoilerFrom(algo model.Algorithm, p model.Params, k int, horizon int64, firstID int) SpoilerResult {
+	n := p.N
+	if k < 1 || k > n {
+		panic("adversary: Spoiler requires 1 <= k <= n")
+	}
+	if firstID < 1 || firstID > n {
+		panic("adversary: Spoiler firstID out of range")
+	}
+
+	type act struct {
+		id int
+		f  model.TransmitFunc
+	}
+	first := act{id: firstID, f: algo.Build(p, firstID, 0, nil)}
+	active := []act{first}
+	usedID := make([]bool, n+1)
+	usedID[firstID] = true
+
+	pattern := model.WakePattern{IDs: []int{firstID}, Wakes: []int64{0}}
+	res := SpoilerResult{}
+	budget := k - 1
+
+	for t := int64(0); t < horizon; t++ {
+		// Who transmits at t among the currently active stations?
+		transmitters := 0
+		for _, a := range active {
+			if a.f(t) {
+				transmitters++
+			}
+		}
+		if transmitters == 1 && budget > 0 {
+			// Try to spoil: find a fresh station that, woken AT t, would
+			// also transmit at t. Deterministic schedules make this a pure
+			// lookup.
+			for y := 1; y <= n; y++ {
+				if usedID[y] {
+					continue
+				}
+				fy := algo.Build(p, y, t, nil)
+				if fy(t) {
+					usedID[y] = true
+					active = append(active, act{id: y, f: fy})
+					pattern.IDs = append(pattern.IDs, y)
+					pattern.Wakes = append(pattern.Wakes, t)
+					transmitters++
+					budget--
+					res.Spoiled++
+					break
+				}
+			}
+		}
+		if transmitters == 1 {
+			res.Rounds = t
+			res.Succeeded = true
+			res.Pattern = pattern
+			return res
+		}
+	}
+	res.Rounds = horizon
+	res.Pattern = pattern
+	return res
+}

@@ -1,0 +1,113 @@
+// Package channel models the multiple-access channel itself: slotted time,
+// at most one successful transmitter per slot, and the feedback regimes the
+// literature distinguishes.
+//
+// The channel is deliberately dumb — it owns no station logic. Each slot the
+// simulator hands it the set of transmitting stations; the channel rules on
+// the outcome (silence / success / collision), records statistics and an
+// optional bounded transcript, and reports what listening stations hear
+// under the configured feedback model (the paper's model maps collisions to
+// silence; the CD variant passes them through for the TreeCD extension).
+package channel
+
+import (
+	"fmt"
+
+	"nsmac/internal/model"
+)
+
+// Event is one slot of the channel transcript.
+type Event struct {
+	// Slot is the global slot index.
+	Slot int64
+	// Transmitters are the stations that transmitted (sorted as handed in).
+	Transmitters []int
+	// Truth is the ground-truth outcome of the slot.
+	Truth model.Feedback
+	// Winner is the successful transmitter (0 unless Truth == Success).
+	Winner int
+}
+
+// String implements fmt.Stringer.
+func (e Event) String() string {
+	switch e.Truth {
+	case model.Success:
+		return fmt.Sprintf("slot %d: station %d transmits alone", e.Slot, e.Winner)
+	case model.Collision:
+		return fmt.Sprintf("slot %d: collision %v", e.Slot, e.Transmitters)
+	default:
+		return fmt.Sprintf("slot %d: silence", e.Slot)
+	}
+}
+
+// maxTrace bounds transcript memory; long runs keep only the first events
+// (enough for rendering and debugging, which only ever look at prefixes).
+const maxTrace = 1 << 16
+
+// Channel arbitrates slots and accumulates statistics.
+type Channel struct {
+	feedback model.FeedbackModel
+	record   bool
+	trace    []Event
+
+	slots      int64
+	successes  int64
+	collisions int64
+	silences   int64
+}
+
+// New returns a channel with the given feedback model. If record is true a
+// bounded transcript of events is kept.
+func New(fm model.FeedbackModel, record bool) *Channel {
+	return &Channel{feedback: fm, record: record}
+}
+
+// FeedbackModel returns the configured feedback regime.
+func (c *Channel) FeedbackModel() model.FeedbackModel { return c.feedback }
+
+// Resolve rules on one slot given the transmitting stations. It returns the
+// ground-truth outcome and the winner ID (0 unless success). Use Observed
+// to translate truth into what stations hear.
+func (c *Channel) Resolve(slot int64, transmitters []int) (model.Feedback, int) {
+	c.slots++
+	var truth model.Feedback
+	winner := 0
+	switch len(transmitters) {
+	case 0:
+		truth = model.Silence
+		c.silences++
+	case 1:
+		truth = model.Success
+		winner = transmitters[0]
+		c.successes++
+	default:
+		truth = model.Collision
+		c.collisions++
+	}
+	if c.record && len(c.trace) < maxTrace {
+		ts := append([]int(nil), transmitters...)
+		c.trace = append(c.trace, Event{Slot: slot, Transmitters: ts, Truth: truth, Winner: winner})
+	}
+	return truth, winner
+}
+
+// Observed maps a ground-truth outcome to the feedback heard by stations
+// under this channel's feedback model.
+func (c *Channel) Observed(truth model.Feedback) model.Feedback {
+	return c.feedback.Observe(truth)
+}
+
+// Trace returns the recorded transcript (nil unless recording was enabled).
+func (c *Channel) Trace() []Event { return c.trace }
+
+// Slots returns the number of resolved slots.
+func (c *Channel) Slots() int64 { return c.slots }
+
+// Successes returns the number of successful slots.
+func (c *Channel) Successes() int64 { return c.successes }
+
+// Collisions returns the number of collided slots.
+func (c *Channel) Collisions() int64 { return c.collisions }
+
+// Silences returns the number of silent slots.
+func (c *Channel) Silences() int64 { return c.silences }

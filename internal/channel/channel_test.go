@@ -1,0 +1,109 @@
+package channel
+
+import (
+	"strings"
+	"testing"
+
+	"nsmac/internal/model"
+)
+
+func TestResolveOutcomes(t *testing.T) {
+	c := New(model.NoCollisionDetection, false)
+
+	truth, winner := c.Resolve(0, nil)
+	if truth != model.Silence || winner != 0 {
+		t.Errorf("empty slot: (%v,%d)", truth, winner)
+	}
+
+	truth, winner = c.Resolve(1, []int{7})
+	if truth != model.Success || winner != 7 {
+		t.Errorf("solo slot: (%v,%d)", truth, winner)
+	}
+
+	truth, winner = c.Resolve(2, []int{3, 9})
+	if truth != model.Collision || winner != 0 {
+		t.Errorf("collision slot: (%v,%d)", truth, winner)
+	}
+
+	if c.Slots() != 3 || c.Successes() != 1 || c.Collisions() != 1 || c.Silences() != 1 {
+		t.Errorf("counters: slots=%d succ=%d coll=%d sil=%d",
+			c.Slots(), c.Successes(), c.Collisions(), c.Silences())
+	}
+}
+
+func TestObservedFollowsFeedbackModel(t *testing.T) {
+	noCD := New(model.NoCollisionDetection, false)
+	if noCD.Observed(model.Collision) != model.Silence {
+		t.Error("no-CD channel leaked collision feedback")
+	}
+	cd := New(model.CollisionDetection, false)
+	if cd.Observed(model.Collision) != model.Collision {
+		t.Error("CD channel suppressed collision feedback")
+	}
+	if noCD.FeedbackModel() != model.NoCollisionDetection ||
+		cd.FeedbackModel() != model.CollisionDetection {
+		t.Error("FeedbackModel accessor wrong")
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	c := New(model.NoCollisionDetection, true)
+	c.Resolve(10, []int{1, 2})
+	c.Resolve(11, nil)
+	c.Resolve(12, []int{5})
+	tr := c.Trace()
+	if len(tr) != 3 {
+		t.Fatalf("trace length %d, want 3", len(tr))
+	}
+	if tr[0].Truth != model.Collision || tr[0].Slot != 10 || len(tr[0].Transmitters) != 2 {
+		t.Errorf("event 0 wrong: %+v", tr[0])
+	}
+	if tr[2].Truth != model.Success || tr[2].Winner != 5 {
+		t.Errorf("event 2 wrong: %+v", tr[2])
+	}
+	// Transmitter slice must be a copy, immune to caller reuse.
+	buf := []int{1, 2}
+	c2 := New(model.NoCollisionDetection, true)
+	c2.Resolve(0, buf)
+	buf[0] = 99
+	if c2.Trace()[0].Transmitters[0] == 99 {
+		t.Error("trace aliased the caller's transmitter buffer")
+	}
+}
+
+func TestTraceDisabled(t *testing.T) {
+	c := New(model.NoCollisionDetection, false)
+	c.Resolve(0, []int{1})
+	if c.Trace() != nil {
+		t.Error("trace recorded despite record=false")
+	}
+}
+
+func TestTraceBounded(t *testing.T) {
+	c := New(model.NoCollisionDetection, true)
+	for i := int64(0); i < maxTrace+100; i++ {
+		c.Resolve(i, nil)
+	}
+	if got := len(c.Trace()); got != maxTrace {
+		t.Errorf("trace grew to %d, want cap %d", got, maxTrace)
+	}
+	if c.Slots() != maxTrace+100 {
+		t.Error("slot counter must keep counting past the trace cap")
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		ev   Event
+		want string
+	}{
+		{Event{Slot: 3, Truth: model.Silence}, "silence"},
+		{Event{Slot: 4, Truth: model.Success, Winner: 9}, "station 9"},
+		{Event{Slot: 5, Truth: model.Collision, Transmitters: []int{1, 2}}, "collision"},
+	}
+	for _, c := range cases {
+		if got := c.ev.String(); !strings.Contains(got, c.want) {
+			t.Errorf("Event.String() = %q, want containing %q", got, c.want)
+		}
+	}
+}

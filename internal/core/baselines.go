@@ -1,0 +1,65 @@
+package core
+
+import (
+	"nsmac/internal/mathx"
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+	"nsmac/internal/selectors"
+)
+
+// LocalSSF is a heuristic baseline standing in for Chlebus et al.'s
+// O(k log² n) locally-synchronized wake-up protocol (paper §1, ref [9];
+// DESIGN.md §4 substitution 3). Each station ignores the global clock
+// entirely and runs, from its LOCAL wake time, the cyclic concatenation of
+// Kautz–Singleton (n,2^i)-strongly-selective families for i = 1..MaxI.
+//
+// Because stations are shifted arbitrarily relative to one another, no
+// family-level selectivity guarantee survives — strong selectivity makes
+// isolation likely (every station has many private sets) but the algorithm
+// is measured, not proven. It exists to give T6 the "best locally
+// synchronized prior work" comparison curve the paper argues it improves
+// on.
+type LocalSSF struct {
+	// MaxI caps the strongest family at (n, 2^MaxI); 0 derives ⌈log k⌉
+	// from known k, falling back to min(6, ⌈log n⌉) to keep the quadratic
+	// KS lengths in check.
+	MaxI int
+}
+
+// NewLocalSSF returns the baseline with automatic MaxI.
+func NewLocalSSF() *LocalSSF { return &LocalSSF{} }
+
+// Name implements model.Algorithm.
+func (a *LocalSSF) Name() string { return "local_ssf[heuristic]" }
+
+// maxI resolves the ladder height for the given params.
+func (a *LocalSSF) maxI(p model.Params) int {
+	if a.MaxI > 0 {
+		return a.MaxI
+	}
+	if p.KnowsK() {
+		return mathx.Max(1, mathx.Log2Ceil(mathx.Max(2, p.K)))
+	}
+	return mathx.Min(6, mathx.Max(1, mathx.Log2Ceil(mathx.Max(2, p.N))))
+}
+
+// Build implements model.Algorithm: position within the schedule is t-wake,
+// the station's local clock — the defining difference from WaitAndGo.
+func (a *LocalSSF) Build(p model.Params, id int, wake int64, _ *rng.Source) model.TransmitFunc {
+	lad := selectors.KSLadder(p.N, a.maxI(p))
+	return func(t int64) bool {
+		if t < wake {
+			return false
+		}
+		return lad.MemberCyclic(t-wake, id)
+	}
+}
+
+// Horizon implements Bounded: a generous empirical cap of several full
+// cycles (no theorem backs this baseline; the cap is for the simulator's
+// termination only).
+func (a *LocalSSF) Horizon(n, k int) int64 {
+	p := model.Params{N: n, K: k, S: -1}
+	lad := selectors.KSLadder(n, a.maxI(p))
+	return 16*lad.Length() + 64
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"nsmac/internal/mathx"
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+)
+
+// BEB is binary exponential backoff, the contention mechanism of the Aloha
+// and Ethernet systems the paper's introduction motivates from ([1, 2]).
+// Each station repeatedly attempts: it transmits once within a contention
+// window, doubles the window on presumed failure (no success heard — this
+// channel carries no collision feedback, so stations infer failure from
+// the absence of their own success), and caps the window at CapLog
+// doublings.
+//
+// BEB carries no worst-case guarantee in this model — it is the practical
+// baseline the paper's deterministic algorithms are an answer to, included
+// for the T6 comparison.
+type BEB struct {
+	// CapLog caps the window at 2^CapLog slots (0 = 2⌈log n⌉ like RPD's ℓ).
+	CapLog int
+}
+
+// NewBEB returns binary exponential backoff with the default cap.
+func NewBEB() *BEB { return &BEB{} }
+
+// Name implements model.Algorithm.
+func (a *BEB) Name() string { return "beb" }
+
+// capFor resolves the window cap for params: ⌈log n⌉ doublings by default,
+// i.e. a steady-state attempt density of ≈ 1/n per slot (Ethernet's BEB
+// caps at 2^10 similarly).
+func (a *BEB) capFor(p model.Params) int {
+	if a.CapLog > 0 {
+		return a.CapLog
+	}
+	return mathx.Max(1, mathx.Log2Ceil(mathx.Max(2, p.N)))
+}
+
+// Build implements model.Algorithm. The schedule is sampled once at build
+// time (attempt slots drawn per window), making the returned function pure
+// and the run reproducible however the engine queries it.
+func (a *BEB) Build(p model.Params, id int, wake int64, src *rng.Source) model.TransmitFunc {
+	var personal uint64
+	if src != nil {
+		personal = src.Uint64()
+	} else {
+		personal = rng.Derive(p.Seed, uint64(id)*0xbeb)
+	}
+	capLog := a.capFor(p)
+	// Attempt schedule: window w_r = 2^min(r+1, capLog); the station
+	// transmits at one uniformly chosen slot inside each window. Windows
+	// are laid back to back from the wake slot; the offset inside window r
+	// is a pure hash so the whole schedule is a function of (id, wake, r).
+	return func(t int64) bool {
+		if t < wake {
+			return false
+		}
+		off := t - wake
+		// Locate the window containing off.
+		var start int64
+		for r := 0; ; r++ {
+			e := r + 1
+			if e > capLog {
+				e = capLog
+			}
+			w := int64(1) << uint(e)
+			if off < start+w {
+				slot := int64(rng.Hash3(personal, uint64(r), uint64(w), uint64(id)) % uint64(w))
+				return off == start+slot
+			}
+			start += w
+			if start > off { // unreachable; guards int64 wrap paranoia
+				return false
+			}
+		}
+	}
+}
+
+// Horizon implements Bounded: no theorem backs BEB; the cap covers the
+// full doubling phase (≈ 2^(capLog+1) slots) plus several hundred capped
+// windows, which empirically suffices for small k.
+func (a *BEB) Horizon(n, k int) int64 {
+	capLog := mathx.Min(a.capFor(model.Params{N: n}), 20)
+	return 8*(int64(1)<<uint(capLog+1)) + 4096
+}

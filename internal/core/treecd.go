@@ -1,0 +1,97 @@
+package core
+
+import (
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+)
+
+// TreeCD is the classic Capetanakis/Hayes/Tsybakov binary-splitting
+// contention-resolution algorithm, the standard contrast model the paper's
+// introduction cites (§1, ref [4]). It REQUIRES collision detection and
+// simultaneous wake-up: every awake station replays the same depth-first
+// traversal of the ID-interval tree driven solely by the broadcast
+// feedback, so all stations' stacks stay identical.
+//
+// Per slot, the stations whose IDs lie in the top interval transmit:
+//
+//	success / silence → pop (interval resolved or empty);
+//	collision         → pop and split into halves, left processed first.
+//
+// The first success resolves wake-up in O(k(1 + log(n/k))) slots; run to
+// completion it enumerates all k stations (usable with RunAll).
+type TreeCD struct{}
+
+// NewTreeCD returns the collision-detection tree algorithm.
+func NewTreeCD() TreeCD { return TreeCD{} }
+
+// Name implements model.Algorithm.
+func (TreeCD) Name() string { return "tree_cd" }
+
+// Build implements model.Algorithm. TreeCD is feedback-driven; the
+// non-adaptive entry point cannot express it.
+func (TreeCD) Build(p model.Params, id int, wake int64, _ *rng.Source) model.TransmitFunc {
+	panic("core: tree_cd is adaptive; run it with Options.Adaptive and collision detection")
+}
+
+// BuildAdaptive implements model.Adaptive.
+func (TreeCD) BuildAdaptive(p model.Params, id int, wake int64, _ *rng.Source) model.AdaptiveStation {
+	st := &treeStation{id: id, n: p.N}
+	st.stack = append(st.stack, interval{1, p.N})
+	return st
+}
+
+// Horizon implements Bounded: the traversal visits at most 2k-1 collision
+// nodes and at most 2k(log n + 1) + 1 total nodes; 4× covers the
+// constant-factor slack of ragged trees.
+func (TreeCD) Horizon(n, k int) int64 {
+	logN := int64(1)
+	for v := n; v > 1; v >>= 1 {
+		logN++
+	}
+	return 8*int64(k)*(logN+1) + 16
+}
+
+type interval struct{ lo, hi int }
+
+type treeStation struct {
+	id      int
+	n       int
+	stack   []interval
+	retired bool // retire after own success so RunAll terminates
+}
+
+// WillTransmit implements model.AdaptiveStation.
+func (s *treeStation) WillTransmit(t int64) bool {
+	if s.retired || len(s.stack) == 0 {
+		return false
+	}
+	top := s.stack[len(s.stack)-1]
+	return s.id >= top.lo && s.id <= top.hi
+}
+
+// Observe implements model.AdaptiveStation: identical transition on every
+// station, which is what keeps the replicated stacks in lockstep.
+func (s *treeStation) Observe(t int64, fb model.Feedback, successID int) {
+	if len(s.stack) == 0 {
+		return
+	}
+	top := s.stack[len(s.stack)-1]
+	s.stack = s.stack[:len(s.stack)-1]
+	switch fb {
+	case model.Collision:
+		mid := (top.lo + top.hi) / 2
+		// Push right half first so the left half is processed next.
+		s.stack = append(s.stack, interval{mid + 1, top.hi}, interval{top.lo, mid})
+	case model.Success:
+		if successID == s.id {
+			s.retired = true
+		}
+	case model.Silence:
+		// Interval empty: nothing more to do.
+	}
+	// When the stack empties every awake station has been enumerated; the
+	// traversal restarts so late workloads (or RunAll re-runs) stay live.
+	if len(s.stack) == 0 {
+		s.stack = append(s.stack, interval{1, s.n})
+	}
+}

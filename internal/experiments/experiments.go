@@ -1,0 +1,210 @@
+// Package experiments contains one driver per table/figure in DESIGN.md §5.
+// Each driver sweeps the workload grid its experiment prescribes, runs the
+// simulations (in parallel across trials), and emits an aligned text table
+// whose rows are what EXPERIMENTS.md records. The paper has no empirical
+// tables — its evaluation is a set of theorems — so each experiment
+// measures the *shape* a theorem promises: bounded ratios to the claimed
+// bound, growth exponents, crossovers.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+	"nsmac/internal/sim"
+)
+
+// Config tunes experiment scale.
+type Config struct {
+	// Quick shrinks sweeps and trial counts for CI / go test; the full
+	// configuration is what cmd/wakeup-bench runs for EXPERIMENTS.md.
+	Quick bool
+	// Trials overrides the per-cell trial count (0 = experiment default).
+	Trials int
+	// Seed keys all randomness; tables are bit-reproducible given a seed.
+	Seed uint64
+	// Workers caps the parallel trial runner (0 = GOMAXPROCS).
+	Workers int
+}
+
+// trials resolves the per-cell trial count.
+func (c Config) trials(quickDef, fullDef int) int {
+	if c.Trials > 0 {
+		return c.Trials
+	}
+	if c.Quick {
+		return quickDef
+	}
+	return fullDef
+}
+
+// seed derives a sub-seed for experiment component `tag`.
+func (c Config) seed(tag uint64) uint64 { return rng.Derive(c.Seed^0x5eed, tag) }
+
+// Table is an experiment's rendered result.
+type Table struct {
+	// ID matches DESIGN.md §5 (T1…T10).
+	ID string
+	// Title states what the experiment measures.
+	Title string
+	// Claim is the paper statement being reproduced.
+	Claim string
+	// Header and Rows hold the tabular payload.
+	Header []string
+	Rows   [][]string
+	// Notes carry shape verdicts and caveats.
+	Notes []string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddNote appends a note line.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// Render produces the aligned text form.
+func (t *Table) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&sb, "   paper: %s\n", t.Claim)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	line(t.Header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "   note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// Experiment pairs an ID with its driver.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(Config) *Table
+}
+
+// All returns every experiment in DESIGN.md §5 order.
+func All() []Experiment {
+	return []Experiment{
+		{"T1", "Theorem 2.1 lower bound via swap adversary", T1LowerBound},
+		{"T2", "Scenario A: wakeup_with_s = Θ(k log(n/k)+1)", T2WakeupWithS},
+		{"T3", "Scenario B: wakeup_with_k = Θ(k log(n/k)+1)", T3WakeupWithK},
+		{"T4", "Scenario C: wakeup(n) = O(k log n log log n)", T4WakeupC},
+		{"T5", "Randomized RPD baselines (§6)", T5RPD},
+		{"T6", "Head-to-head comparison and crossover", T6Comparison},
+		{"T7", "Selective-family lengths", T7FamilySizes},
+		{"T8", "Design ablations", T8Ablations},
+		{"T9", "Komlós–Greenberg conflict resolution extension", T9ConflictResolution},
+		{"T10", "Tree algorithm under collision detection", T10TreeCD},
+		{"T11", "Seed robustness of the probabilistic constructions", T11SeedRobustness},
+		{"T12", "Clock-skew sensitivity (global vs local synchrony)", T12ClockSkew},
+	}
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ---------------------------------------------------------------------------
+// shared measurement helpers
+
+// measured is one simulation outcome in a sweep.
+type measured struct {
+	rounds int64
+	ok     bool
+}
+
+// runOnce executes a single simulation, mapping failure to horizon rounds.
+func runOnce(algo model.Algorithm, p model.Params, w model.WakePattern, horizon int64) measured {
+	res, _, err := sim.Run(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed})
+	if err != nil {
+		// Knowledge-inconsistent input is a driver bug; surface loudly.
+		panic(fmt.Sprintf("experiments: %s rejected input: %v", algo.Name(), err))
+	}
+	if !res.Succeeded {
+		return measured{rounds: horizon, ok: false}
+	}
+	return measured{rounds: res.Rounds, ok: true}
+}
+
+// sweepPatterns measures algo across a list of wake patterns in parallel,
+// returning per-pattern rounds (failures at horizon) and the success count.
+func sweepPatterns(cfg Config, algo model.Algorithm, p model.Params,
+	pats []model.WakePattern, horizon int64) ([]int64, int) {
+
+	results := sim.Parallel(len(pats), cfg.Workers, func(i int) model.Result {
+		m := runOnce(algo, p, pats[i], horizon)
+		ok := int64(0)
+		if m.ok {
+			ok = 1
+		}
+		return model.Result{Rounds: m.rounds, Winner: int(ok)}
+	})
+	rounds := make([]int64, len(results))
+	okCount := 0
+	for i, r := range results {
+		rounds[i] = r.Rounds
+		okCount += r.Winner
+	}
+	return rounds, okCount
+}
+
+// maxOf returns the max of a non-empty slice.
+func maxOf(xs []int64) int64 {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// meanOf returns the mean of a non-empty slice.
+func meanOf(xs []int64) float64 {
+	var s int64
+	for _, x := range xs {
+		s += x
+	}
+	return float64(s) / float64(len(xs))
+}

@@ -1,0 +1,140 @@
+package experiments
+
+import (
+	"fmt"
+
+	"nsmac/internal/core"
+	"nsmac/internal/mathx"
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+	"nsmac/internal/sim"
+	"nsmac/internal/stats"
+)
+
+// T9ConflictResolution measures the Komlós–Greenberg extension: letting
+// EVERY awake station transmit alone takes O(k + k log(n/k)) slots — the
+// result the paper's related-work section builds on ([25]).
+func T9ConflictResolution(cfg Config) *Table {
+	t := &Table{
+		ID:     "T9",
+		Title:  "kg_conflict_resolution: slots until all k stations have transmitted alone",
+		Claim:  "conflict resolution completes in O(k + k log(n/k)) ([25], §1)",
+		Header: []string{"n", "k", "trials", "mean", "worst", "bound", "worst/bound"},
+	}
+	ns := []int{256}
+	if !cfg.Quick {
+		ns = append(ns, 1024)
+	}
+	trials := cfg.trials(3, 8)
+	var bounds, worsts []float64
+	for _, n := range ns {
+		for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
+			if k > n {
+				continue
+			}
+			seed := cfg.seed(uint64(n)<<16 | uint64(k))
+			a := core.NewKGConflictResolution()
+			p := model.Params{N: n, K: k, S: -1, Seed: seed}
+
+			var slots []int64
+			fails := 0
+			for trial := 0; trial < trials; trial++ {
+				ids := rng.New(rng.Derive(seed, uint64(trial))).Sample(n, k)
+				w := model.Simultaneous(ids, 0)
+				all, err := sim.RunAll(a, p, w, sim.Options{Horizon: a.Horizon(n, k), Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				if !all.Succeeded {
+					fails++
+				}
+				slots = append(slots, all.Slots)
+			}
+			// KG bound with the interleaving factor 2 folded into the
+			// constant: k + k log(n/k), as in the paper's §1.
+			bound := mathx.BoundKLogNK(n, k)
+			worst := maxOf(slots)
+			bounds = append(bounds, float64(bound))
+			worsts = append(worsts, float64(worst))
+			row := []string{
+				fmt.Sprintf("%d", n), fmt.Sprintf("%d", k), fmt.Sprintf("%d", trials),
+				fmt.Sprintf("%.1f", meanOf(slots)), fmt.Sprintf("%d", worst),
+				fmt.Sprintf("%d", bound), fmt.Sprintf("%.2f", float64(worst)/float64(bound)),
+			}
+			if fails > 0 {
+				row[len(row)-1] += fmt.Sprintf(" (%d FAIL)", fails)
+			}
+			t.AddRow(row...)
+		}
+	}
+	if len(bounds) >= 2 {
+		fit := stats.LinearFit(bounds, worsts)
+		t.AddNote("worst ≈ %.2f·bound %+.1f (R²=%.3f): linear in the KG bound as claimed", fit.Slope, fit.Intercept, fit.R2)
+	}
+	return t
+}
+
+// T10TreeCD measures the collision-detection contrast model: Capetanakis
+// binary splitting with simultaneous start resolves the first station in
+// O(k(1+log(n/k))) slots and enumerates all k in O(k(1+log(n/k))) too.
+func T10TreeCD(cfg Config) *Table {
+	t := &Table{
+		ID:     "T10",
+		Title:  "tree_cd (collision detection): first success and full enumeration",
+		Claim:  "CD tree algorithms resolve in O(k log(n/k)) (§1, [4]); CD is strictly stronger feedback",
+		Header: []string{"n", "k", "trials", "first(worst)", "all(worst)", "bound", "all/bound"},
+	}
+	n := 1024
+	if cfg.Quick {
+		n = 256
+	}
+	trials := cfg.trials(3, 8)
+	a := core.NewTreeCD()
+	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
+		if k > n {
+			continue
+		}
+		seed := cfg.seed(uint64(k) << 4)
+		p := model.Params{N: n, S: -1, Seed: seed}
+
+		var firsts, alls []int64
+		for trial := 0; trial < trials; trial++ {
+			ids := rng.New(rng.Derive(seed, uint64(trial))).Sample(n, k)
+			w := model.Simultaneous(ids, 0)
+
+			res, _, err := sim.Run(a, p, w, sim.Options{
+				Horizon: a.Horizon(n, k), Adaptive: true,
+				Feedback: model.CollisionDetection, Seed: seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			r := res.Rounds
+			if !res.Succeeded {
+				r = a.Horizon(n, k)
+			}
+			firsts = append(firsts, r)
+
+			all, err := sim.RunAll(a, p, w, sim.Options{
+				Horizon: 4 * a.Horizon(n, k), Feedback: model.CollisionDetection, Seed: seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			s := all.Slots
+			if !all.Succeeded {
+				s = 4 * a.Horizon(n, k)
+			}
+			alls = append(alls, s)
+		}
+		bound := mathx.BoundKLogNK(n, k)
+		t.AddRow(
+			fmt.Sprintf("%d", n), fmt.Sprintf("%d", k), fmt.Sprintf("%d", trials),
+			fmt.Sprintf("%d", maxOf(firsts)), fmt.Sprintf("%d", maxOf(alls)),
+			fmt.Sprintf("%d", bound),
+			fmt.Sprintf("%.2f", float64(maxOf(alls))/float64(bound)),
+		)
+	}
+	t.AddNote("simultaneous start (the tree algorithm's model); feedback = collision detection")
+	return t
+}

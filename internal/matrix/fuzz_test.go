@@ -1,0 +1,60 @@
+package matrix
+
+import (
+	"testing"
+)
+
+// FuzzSpecGeometry checks the µ/ρ/row algebra for arbitrary universe sizes
+// and times: the protocol's clock arithmetic must never tear.
+func FuzzSpecGeometry(f *testing.F) {
+	f.Add(uint16(4096), uint8(1), uint32(12345))
+	f.Add(uint16(2), uint8(2), uint32(0))
+	f.Add(uint16(1), uint8(1), uint32(7))
+	f.Fuzz(func(t *testing.T, rawN uint16, rawC uint8, rawT uint32) {
+		n := int(rawN)%8192 + 1
+		c := int(rawC)%4 + 1
+		s := NewSpec(n, c, 9)
+		tt := int64(rawT)
+
+		// µ is idempotent, window-aligned, minimal.
+		mu := s.Mu(tt)
+		if mu < tt || mu%int64(s.Window) != 0 || mu-tt >= int64(s.Window) {
+			t.Fatalf("Mu(%d) = %d broken (w=%d)", tt, mu, s.Window)
+		}
+		if s.Mu(mu) != mu {
+			t.Fatal("Mu not idempotent")
+		}
+		// ρ cycles with the window and the matrix length divides evenly.
+		if s.Rho(tt) != int(tt%int64(s.Window)) {
+			t.Fatal("Rho wrong")
+		}
+		if s.Length()%int64(s.Window) != 0 {
+			t.Fatal("Length not divisible by window")
+		}
+		// Row residences are positive, double, and window-aligned.
+		var cycle int64
+		for i := 1; i <= s.Rows; i++ {
+			m := s.RowResidence(i)
+			if m <= 0 || m%int64(s.Window) != 0 {
+				t.Fatalf("m_%d = %d invalid", i, m)
+			}
+			if i > 1 && m != 2*s.RowResidence(i-1) {
+				t.Fatalf("m_%d does not double", i)
+			}
+			cycle += m
+		}
+		if cycle != s.CycleLength() {
+			t.Fatal("CycleLength mismatch")
+		}
+		// RowAt at an arbitrary offset is consistent with RowEntry.
+		op := mu
+		probe := op + int64(rawT)%(2*cycle)
+		row, entered := s.RowAt(op, probe)
+		if row < 1 || row > s.Rows {
+			t.Fatalf("RowAt row %d out of range", row)
+		}
+		if probe < entered || probe >= entered+s.RowResidence(row) {
+			t.Fatalf("RowAt(%d) = (%d, %d): probe outside the row's span", probe, row, entered)
+		}
+	})
+}

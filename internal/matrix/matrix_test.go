@@ -1,0 +1,313 @@
+package matrix
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nsmac/internal/mathx"
+)
+
+func TestNewSpecGeometry(t *testing.T) {
+	cases := []struct {
+		n            int
+		rows, window int
+	}{
+		{1, 1, 1},
+		{2, 1, 1},
+		{4, 2, 1},
+		{16, 4, 2},
+		{4096, 12, 4}, // log 4096 = 12, ceil(log2 12) = 4
+		{1 << 16, 16, 4},
+		{1 << 20, 20, 5},
+	}
+	for _, c := range cases {
+		s := NewSpec(c.n, 1, 7)
+		if s.Rows != c.rows || s.Window != c.window {
+			t.Errorf("NewSpec(%d): rows=%d window=%d, want %d/%d",
+				c.n, s.Rows, s.Window, c.rows, c.window)
+		}
+	}
+}
+
+func TestNewSpecPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewSpec(0, 1, 1) },
+		func() { NewSpec(4, 0, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLengthIsMultipleOfWindow(t *testing.T) {
+	for _, n := range []int{1, 3, 16, 100, 4096} {
+		for _, c := range []int{1, 2, 4} {
+			s := NewSpec(n, c, 1)
+			l := s.Length()
+			want := 2 * int64(c) * int64(n) * int64(s.Rows) * int64(s.Window)
+			if l != want {
+				t.Errorf("Length(n=%d,c=%d) = %d, want %d", n, c, l, want)
+			}
+			if l%int64(s.Window) != 0 {
+				t.Errorf("Length %d not a multiple of window %d", l, s.Window)
+			}
+		}
+	}
+}
+
+func TestRho(t *testing.T) {
+	s := NewSpec(4096, 1, 1) // window 4
+	for j := int64(0); j < 20; j++ {
+		if got := s.Rho(j); got != int(j%4) {
+			t.Errorf("Rho(%d) = %d, want %d", j, got, j%4)
+		}
+	}
+}
+
+func TestMu(t *testing.T) {
+	s := NewSpec(4096, 1, 1) // window 4
+	cases := []struct{ sigma, want int64 }{
+		{0, 0}, {1, 4}, {2, 4}, {3, 4}, {4, 4}, {5, 8}, {8, 8}, {9, 12},
+	}
+	for _, c := range cases {
+		if got := s.Mu(c.sigma); got != c.want {
+			t.Errorf("Mu(%d) = %d, want %d", c.sigma, got, c.want)
+		}
+	}
+}
+
+func TestMuProperties(t *testing.T) {
+	s := NewSpec(1<<16, 1, 1)
+	w := int64(s.Window)
+	f := func(raw uint16) bool {
+		sigma := int64(raw)
+		mu := s.Mu(sigma)
+		// mu >= sigma, mu ≡ 0 mod w, and minimal.
+		return mu >= sigma && mu%w == 0 && mu-sigma < w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRowResidenceDoubling(t *testing.T) {
+	s := NewSpec(4096, 2, 1)
+	for i := 1; i < s.Rows; i++ {
+		if 2*s.RowResidence(i) != s.RowResidence(i+1) {
+			t.Errorf("m_%d does not double: %d vs %d", i, s.RowResidence(i), s.RowResidence(i+1))
+		}
+	}
+	// m_1 = c * 2 * log n * log log n.
+	want := int64(2) * 2 * int64(s.Rows) * int64(s.Window)
+	if got := s.RowResidence(1); got != want {
+		t.Errorf("m_1 = %d, want %d", got, want)
+	}
+}
+
+func TestRowEntryAndCycle(t *testing.T) {
+	s := NewSpec(256, 1, 1)
+	op := int64(100)
+	if got := s.RowEntry(op, 1); got != op {
+		t.Errorf("RowEntry(op,1) = %d, want %d", got, op)
+	}
+	var acc int64
+	for i := 1; i <= s.Rows; i++ {
+		if got := s.RowEntry(op, i); got != op+acc {
+			t.Errorf("RowEntry(op,%d) = %d, want %d", i, got, op+acc)
+		}
+		acc += s.RowResidence(i)
+	}
+	if s.CycleLength() != acc {
+		t.Errorf("CycleLength = %d, want %d", s.CycleLength(), acc)
+	}
+}
+
+func TestRowAt(t *testing.T) {
+	s := NewSpec(64, 1, 3)
+	op := s.Mu(17)
+	// Walk the whole first cycle and verify row transitions.
+	for i := 1; i <= s.Rows; i++ {
+		entry := s.RowEntry(op, i)
+		row, entered := s.RowAt(op, entry)
+		if row != i || entered != entry {
+			t.Fatalf("RowAt(entry of row %d) = (%d,%d), want (%d,%d)", i, row, entered, i, entry)
+		}
+		last := entry + s.RowResidence(i) - 1
+		row, _ = s.RowAt(op, last)
+		if row != i {
+			t.Fatalf("RowAt(last slot of row %d) = %d", i, row)
+		}
+	}
+	// After one full cycle the scan restarts at row 1.
+	row, entered := s.RowAt(op, op+s.CycleLength())
+	if row != 1 || entered != op+s.CycleLength() {
+		t.Errorf("post-cycle RowAt = (%d,%d), want restart at row 1", row, entered)
+	}
+}
+
+func TestRowAtBeforeOpPanics(t *testing.T) {
+	s := NewSpec(64, 1, 3)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	s.RowAt(10, 9)
+}
+
+func TestMemberDeterministicAndSeedSensitive(t *testing.T) {
+	a := NewSpec(128, 1, 42)
+	b := NewSpec(128, 1, 42)
+	c := NewSpec(128, 1, 43)
+	diff := 0
+	for i := 1; i <= a.Rows; i++ {
+		for j := int64(0); j < 200; j++ {
+			for id := 1; id <= 128; id += 7 {
+				if a.Member(i, j, id) != b.Member(i, j, id) {
+					t.Fatal("same-seed matrices differ")
+				}
+				if a.Member(i, j, id) != c.Member(i, j, id) {
+					diff++
+				}
+			}
+		}
+	}
+	if diff == 0 {
+		t.Error("different seeds gave identical matrices")
+	}
+}
+
+func TestMemberDensityMatchesRho(t *testing.T) {
+	// Empirical density of M_{i,j} should be ~2^-(i+ρ(j)).
+	s := NewSpec(1<<14, 1, 5)
+	n := s.N
+	for _, i := range []int{1, 2, 3} {
+		for rho := 0; rho < s.Window; rho++ {
+			hits, total := 0, 0
+			// Sample columns with this rho.
+			for j := int64(rho); j < 60*int64(s.Window); j += int64(s.Window) {
+				for id := 1; id <= n; id += 13 {
+					total++
+					if s.Member(i, j, id) {
+						hits++
+					}
+				}
+			}
+			got := float64(hits) / float64(total)
+			want := 1.0 / float64(int64(1)<<uint(i+rho))
+			if got < want*0.7-0.001 || got > want*1.3+0.001 {
+				t.Errorf("density(i=%d,rho=%d) = %.5f, want ~%.5f", i, rho, got, want)
+			}
+		}
+	}
+}
+
+func TestMemberWrapsCircularly(t *testing.T) {
+	s := NewSpec(32, 1, 9)
+	l := s.Length()
+	for i := 1; i <= s.Rows; i++ {
+		for j := int64(0); j < 50; j++ {
+			for id := 1; id <= 32; id += 5 {
+				if s.Member(i, j, id) != s.Member(i, j+l, id) {
+					t.Fatalf("matrix not circular at (%d,%d,%d)", i, j, id)
+				}
+			}
+		}
+	}
+}
+
+func TestMemberPanics(t *testing.T) {
+	s := NewSpec(16, 1, 1)
+	for _, fn := range []func(){
+		func() { s.Member(0, 0, 1) },
+		func() { s.Member(s.Rows+1, 0, 1) },
+		func() { s.Member(1, -1, 1) },
+		func() { s.Member(1, 0, 0) },
+		func() { s.Member(1, 0, 17) },
+		func() { s.RowResidence(0) },
+		func() { s.RowResidence(s.Rows + 1) },
+		func() { s.Rho(-1) },
+		func() { s.Mu(-1) },
+		func() { s.RowEntry(0, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestMaterializeAgreesWithMember(t *testing.T) {
+	s := NewSpec(12, 1, 33)
+	cols := int64(20)
+	m := s.Materialize(cols)
+	if len(m) != s.Rows {
+		t.Fatalf("materialized %d rows, want %d", len(m), s.Rows)
+	}
+	for i := 1; i <= s.Rows; i++ {
+		for j := int64(0); j < cols; j++ {
+			set := map[int]bool{}
+			for _, id := range m[i-1][j] {
+				set[id] = true
+			}
+			for id := 1; id <= 12; id++ {
+				if set[id] != s.Member(i, j, id) {
+					t.Fatalf("materialized (%d,%d,%d) disagrees", i, j, id)
+				}
+			}
+		}
+	}
+}
+
+func TestWindowConstancyP1(t *testing.T) {
+	// Property P1 underpinning §5.2: within one window, a station operative
+	// from a window boundary stays on the same row (row changes only at
+	// multiples of m_i which are multiples of the window, since Window
+	// divides every m_i).
+	s := NewSpec(1024, 1, 4)
+	for i := 1; i <= s.Rows; i++ {
+		if s.RowResidence(i)%int64(s.Window) != 0 {
+			t.Errorf("m_%d = %d not a multiple of window %d", i, s.RowResidence(i), s.Window)
+		}
+	}
+	op := s.Mu(13)
+	if op%int64(s.Window) != 0 {
+		t.Fatal("operative slot not window-aligned")
+	}
+	// Scan two cycles: within any window all slots map to the same row.
+	horizon := 2 * s.CycleLength()
+	for wStart := op; wStart < op+horizon; wStart += int64(s.Window) {
+		row0, _ := s.RowAt(op, wStart)
+		for off := int64(1); off < int64(s.Window); off++ {
+			row, _ := s.RowAt(op, wStart+off)
+			if row != row0 {
+				t.Fatalf("row changed mid-window at %d: %d -> %d", wStart+off, row0, row)
+			}
+		}
+	}
+}
+
+func TestBoundConsistency(t *testing.T) {
+	// The T4 horizon logic assumes 2c·k·logN·w slots suffice for the
+	// well-balanced round to occur; sanity check the arithmetic helpers it
+	// uses agree with mathx.
+	s := NewSpec(4096, 1, 1)
+	k := 16
+	bound := 2 * int64(s.C) * int64(k) * int64(s.Rows) * int64(s.Window)
+	if bound <= 0 || bound > s.Length() {
+		t.Errorf("theorem bound %d outside (0, ℓ=%d]", bound, s.Length())
+	}
+	if mathx.BoundKLogLogLog(4096, k) != int64(k)*int64(s.Rows)*int64(s.Window) {
+		t.Errorf("mathx bound disagrees with spec geometry")
+	}
+}

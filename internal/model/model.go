@@ -1,0 +1,267 @@
+// Package model defines the vocabulary shared by the channel simulator, the
+// contention-resolution algorithms and the experiment harness: parameters,
+// wake patterns, transmit schedules, feedback, and results.
+//
+// The model follows the paper exactly: n stations with unique IDs in [1, n]
+// share one slotted channel and a global clock; up to k of them wake up
+// spontaneously at adversarially chosen slots; a slot is successful iff
+// exactly one awake station transmits in it; without collision detection a
+// collision is indistinguishable from silence.
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"nsmac/internal/rng"
+)
+
+// Feedback is what a listening station hears in a slot.
+type Feedback uint8
+
+const (
+	// Silence: no station transmitted. Under NoCollisionDetection this is
+	// also what a collision sounds like.
+	Silence Feedback = iota
+	// Success: exactly one station transmitted; all stations receive the
+	// message (the successful transmitter included, per the paper).
+	Success
+	// Collision: two or more stations transmitted. Only distinguishable
+	// from Silence when the channel is configured with collision detection.
+	Collision
+)
+
+// String implements fmt.Stringer.
+func (f Feedback) String() string {
+	switch f {
+	case Silence:
+		return "silence"
+	case Success:
+		return "success"
+	case Collision:
+		return "collision"
+	default:
+		return fmt.Sprintf("feedback(%d)", uint8(f))
+	}
+}
+
+// FeedbackModel selects how much channel feedback stations receive.
+type FeedbackModel uint8
+
+const (
+	// NoCollisionDetection is the paper's model: collisions are reported to
+	// stations as Silence.
+	NoCollisionDetection FeedbackModel = iota
+	// CollisionDetection lets stations distinguish Collision from Silence.
+	// Used only by the TreeCD extension baseline.
+	CollisionDetection
+)
+
+// Observe maps ground truth to what a station hears under the model.
+func (m FeedbackModel) Observe(truth Feedback) Feedback {
+	if m == NoCollisionDetection && truth == Collision {
+		return Silence
+	}
+	return truth
+}
+
+// Params carries an algorithm's knowledge of the system, mirroring the
+// paper's three scenarios. N (and the station's own ID) is always known.
+// K and S are knowledge switches: K > 0 means the bound k is known
+// (Scenario B); S >= 0 means the first wake-up time s is known (Scenario A).
+// Scenario C algorithms receive K == 0 and S == -1.
+type Params struct {
+	// N is the size of the ID universe [1, N]; always known.
+	N int
+	// K is the known upper bound on awake stations, or 0 if unknown.
+	K int
+	// S is the known first wake-up slot, or -1 if unknown.
+	S int64
+	// Seed keys every randomized artifact the algorithm builds (selective
+	// families, the Scenario C matrix, randomized transmission choices).
+	Seed uint64
+}
+
+// Validate checks internal consistency.
+func (p Params) Validate() error {
+	if p.N < 1 {
+		return fmt.Errorf("model: N = %d, want >= 1", p.N)
+	}
+	if p.K < 0 || p.K > p.N {
+		return fmt.Errorf("model: K = %d out of [0,%d]", p.K, p.N)
+	}
+	if p.S < -1 {
+		return fmt.Errorf("model: S = %d, want >= -1", p.S)
+	}
+	return nil
+}
+
+// KnowsK reports whether the bound k is part of the knowledge (Scenario B).
+func (p Params) KnowsK() bool { return p.K > 0 }
+
+// KnowsS reports whether the first wake-up slot is known (Scenario A).
+func (p Params) KnowsS() bool { return p.S >= 0 }
+
+// TransmitFunc is a station's transmission schedule: it reports whether the
+// station transmits in global slot t. The function is only queried for
+// t >= the station's wake time; deterministic algorithms make it a pure
+// function of (id, wake, t) as the globally synchronous model prescribes.
+type TransmitFunc func(t int64) bool
+
+// Algorithm builds per-station schedules. Deterministic algorithms ignore
+// src; randomized ones draw from it (each station gets an independent,
+// reproducibly derived stream).
+type Algorithm interface {
+	// Name identifies the algorithm in tables and traces.
+	Name() string
+	// Build returns station id's schedule given its wake slot. Build must
+	// be deterministic given (params, id, wake) and the bits drawn from src.
+	Build(p Params, id int, wake int64, src *rng.Source) TransmitFunc
+}
+
+// Adaptive is implemented by algorithms whose stations react to channel
+// feedback (e.g. binary tree splitting under collision detection, or the
+// Komlós–Greenberg conflict-resolution extension that retires stations when
+// they hear their own success). The simulator calls Observe on every awake
+// station after every slot.
+type Adaptive interface {
+	Algorithm
+	// BuildAdaptive returns a stateful station. It supersedes Build when
+	// the simulator runs in adaptive mode.
+	BuildAdaptive(p Params, id int, wake int64, src *rng.Source) AdaptiveStation
+}
+
+// AdaptiveStation is a stateful per-station protocol instance.
+type AdaptiveStation interface {
+	// WillTransmit reports whether the station transmits in global slot t.
+	WillTransmit(t int64) bool
+	// Observe delivers the slot's feedback as heard by this station
+	// (already filtered through the channel's FeedbackModel), together with
+	// the ID carried by a successful message, or 0 otherwise.
+	Observe(t int64, fb Feedback, successID int)
+}
+
+// WakePattern assigns wake slots to a subset of stations. It is the
+// adversary's move: which stations join, and when.
+type WakePattern struct {
+	// IDs are the awake stations, distinct, each in [1, n].
+	IDs []int
+	// Wakes[i] is the slot at which IDs[i] wakes up (>= 0).
+	Wakes []int64
+}
+
+// Validate checks the pattern against universe size n.
+func (w WakePattern) Validate(n int) error {
+	if len(w.IDs) == 0 {
+		return fmt.Errorf("model: empty wake pattern")
+	}
+	if len(w.IDs) != len(w.Wakes) {
+		return fmt.Errorf("model: %d ids but %d wake times", len(w.IDs), len(w.Wakes))
+	}
+	seen := make(map[int]bool, len(w.IDs))
+	for i, id := range w.IDs {
+		if id < 1 || id > n {
+			return fmt.Errorf("model: station %d out of [1,%d]", id, n)
+		}
+		if seen[id] {
+			return fmt.Errorf("model: duplicate station %d", id)
+		}
+		seen[id] = true
+		if w.Wakes[i] < 0 {
+			return fmt.Errorf("model: negative wake time %d", w.Wakes[i])
+		}
+	}
+	return nil
+}
+
+// K returns the number of awake stations.
+func (w WakePattern) K() int { return len(w.IDs) }
+
+// FirstWake returns s, the earliest wake slot (the paper's s).
+func (w WakePattern) FirstWake() int64 {
+	s := w.Wakes[0]
+	for _, t := range w.Wakes[1:] {
+		if t < s {
+			s = t
+		}
+	}
+	return s
+}
+
+// LastWake returns the latest wake slot.
+func (w WakePattern) LastWake() int64 {
+	s := w.Wakes[0]
+	for _, t := range w.Wakes[1:] {
+		if t > s {
+			s = t
+		}
+	}
+	return s
+}
+
+// Sorted returns a copy of the pattern with stations ordered by wake time,
+// ties broken by ID. The simulator relies on this order to activate
+// stations incrementally.
+func (w WakePattern) Sorted() WakePattern {
+	idx := make([]int, len(w.IDs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		if w.Wakes[ia] != w.Wakes[ib] {
+			return w.Wakes[ia] < w.Wakes[ib]
+		}
+		return w.IDs[ia] < w.IDs[ib]
+	})
+	out := WakePattern{
+		IDs:   make([]int, len(w.IDs)),
+		Wakes: make([]int64, len(w.Wakes)),
+	}
+	for i, j := range idx {
+		out.IDs[i] = w.IDs[j]
+		out.Wakes[i] = w.Wakes[j]
+	}
+	return out
+}
+
+// Simultaneous builds the pattern where all given stations wake at slot s.
+func Simultaneous(ids []int, s int64) WakePattern {
+	wakes := make([]int64, len(ids))
+	for i := range wakes {
+		wakes[i] = s
+	}
+	return WakePattern{IDs: append([]int(nil), ids...), Wakes: wakes}
+}
+
+// Result reports one simulation run.
+type Result struct {
+	// Succeeded is true if some slot carried a solo transmission before the
+	// horizon was exhausted.
+	Succeeded bool
+	// Winner is the station that transmitted alone (0 if none).
+	Winner int
+	// SuccessSlot is the global slot of the first success (-1 if none).
+	SuccessSlot int64
+	// Rounds is the paper's cost measure t - s: slots from the first wake
+	// up to and including the success slot index difference (-1 if none).
+	Rounds int64
+	// Slots is how many slots the simulator stepped.
+	Slots int64
+	// Collisions and Silences count the wasted slots by cause (ground
+	// truth, not the station-observed feedback).
+	Collisions int64
+	Silences   int64
+	// Transmissions counts individual transmission attempts across all
+	// stations and slots — the energy cost of the run.
+	Transmissions int64
+}
+
+// String implements fmt.Stringer for compact logging.
+func (r Result) String() string {
+	if !r.Succeeded {
+		return fmt.Sprintf("FAILED after %d slots (%d collisions)", r.Slots, r.Collisions)
+	}
+	return fmt.Sprintf("station %d alone at slot %d (rounds=%d, collisions=%d, silences=%d)",
+		r.Winner, r.SuccessSlot, r.Rounds, r.Collisions, r.Silences)
+}

@@ -1,0 +1,173 @@
+// Package stats provides the summary statistics and fits the experiment
+// tables report: mean/median/percentiles of measured wake-up rounds, and a
+// least-squares line for growth-shape checks (e.g. rounds vs k·log(n/k)).
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of measurements.
+type Summary struct {
+	Count  int
+	Mean   float64
+	StdDev float64
+	Min    float64
+	P25    float64
+	Median float64
+	P75    float64
+	P95    float64
+	Max    float64
+}
+
+// Summarize computes a Summary of xs. It panics on an empty sample: every
+// call site aggregates at least one trial.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		panic("stats: Summarize of empty sample")
+	}
+	s := make([]float64, len(xs))
+	copy(s, xs)
+	sort.Float64s(s)
+
+	var sum, sumSq float64
+	for _, x := range s {
+		sum += x
+		sumSq += x * x
+	}
+	n := float64(len(s))
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0 // guard FP cancellation
+	}
+	return Summary{
+		Count:  len(s),
+		Mean:   mean,
+		StdDev: math.Sqrt(variance),
+		Min:    s[0],
+		P25:    Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		P75:    Quantile(s, 0.75),
+		P95:    Quantile(s, 0.95),
+		Max:    s[len(s)-1],
+	}
+}
+
+// SummarizeInt64 converts and summarizes integer measurements.
+func SummarizeInt64(xs []int64) Summary {
+	fs := make([]float64, len(xs))
+	for i, x := range xs {
+		fs[i] = float64(x)
+	}
+	return Summarize(fs)
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ALREADY SORTED sample
+// using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		panic("stats: Quantile of empty sample")
+	}
+	if q < 0 || q > 1 {
+		panic("stats: quantile out of [0,1]")
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// String renders the summary compactly for tables.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.1f sd=%.1f min=%.0f med=%.1f p95=%.1f max=%.0f",
+		s.Count, s.Mean, s.StdDev, s.Min, s.Median, s.P95, s.Max)
+}
+
+// Fit is a least-squares line y ≈ Slope·x + Intercept with goodness R².
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y against x by ordinary least squares. Requires at least
+// two points and non-constant x.
+func LinearFit(x, y []float64) Fit {
+	if len(x) != len(y) {
+		panic("stats: LinearFit length mismatch")
+	}
+	if len(x) < 2 {
+		panic("stats: LinearFit needs at least two points")
+	}
+	n := float64(len(x))
+	var sx, sy, sxx, sxy, syy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+		sxx += x[i] * x[i]
+		sxy += x[i] * y[i]
+		syy += y[i] * y[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		panic("stats: LinearFit with constant x")
+	}
+	slope := (n*sxy - sx*sy) / den
+	intercept := (sy - slope*sx) / n
+
+	// R² = 1 - SSres/SStot (define R² = 1 for constant y fitted exactly).
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for i := range x {
+		pred := slope*x[i] + intercept
+		ssRes += (y[i] - pred) * (y[i] - pred)
+		ssTot += (y[i] - meanY) * (y[i] - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	return Fit{Slope: slope, Intercept: intercept, R2: r2}
+}
+
+// Ratios returns y[i]/x[i] for paired positive samples — the bounded-ratio
+// evidence the shape checks rely on (measured rounds / theoretical bound).
+func Ratios(y, x []float64) []float64 {
+	if len(x) != len(y) {
+		panic("stats: Ratios length mismatch")
+	}
+	out := make([]float64, len(x))
+	for i := range x {
+		if x[i] == 0 {
+			panic("stats: Ratios with zero denominator")
+		}
+		out[i] = y[i] / x[i]
+	}
+	return out
+}
+
+// GeometricMean returns the geometric mean of positive samples; it is the
+// right average for ratios.
+func GeometricMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		panic("stats: GeometricMean of empty sample")
+	}
+	var logSum float64
+	for _, x := range xs {
+		if x <= 0 {
+			panic("stats: GeometricMean requires positive samples")
+		}
+		logSum += math.Log(x)
+	}
+	return math.Exp(logSum / float64(len(xs)))
+}

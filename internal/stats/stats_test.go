@@ -1,0 +1,216 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEq(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestSummarizeKnownSample(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Count != 8 {
+		t.Errorf("Count = %d", s.Count)
+	}
+	if !almostEq(s.Mean, 5, 1e-9) {
+		t.Errorf("Mean = %v, want 5", s.Mean)
+	}
+	if !almostEq(s.StdDev, 2, 1e-9) { // classic population-sd example
+		t.Errorf("StdDev = %v, want 2", s.StdDev)
+	}
+	if s.Min != 2 || s.Max != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min, s.Max)
+	}
+	if !almostEq(s.Median, 4.5, 1e-9) {
+		t.Errorf("Median = %v, want 4.5", s.Median)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{42})
+	if s.Mean != 42 || s.Median != 42 || s.Min != 42 || s.Max != 42 || s.StdDev != 0 {
+		t.Errorf("singleton summary wrong: %+v", s)
+	}
+	if s.P95 != 42 || s.P25 != 42 {
+		t.Errorf("singleton quantiles wrong: %+v", s)
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeInt64(t *testing.T) {
+	s := SummarizeInt64([]int64{1, 2, 3})
+	if !almostEq(s.Mean, 2, 1e-9) || s.Count != 3 {
+		t.Errorf("SummarizeInt64 wrong: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Summarize(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Error("Summarize sorted the caller's slice")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40, 50}
+	cases := []struct{ q, want float64 }{
+		{0, 10}, {1, 50}, {0.5, 30}, {0.25, 20}, {0.75, 40}, {0.1, 14},
+	}
+	for _, c := range cases {
+		if got := Quantile(sorted, c.q); !almostEq(got, c.want, 1e-9) {
+			t.Errorf("Quantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantilePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Quantile(nil, 0.5) },
+		func() { Quantile([]float64{1}, -0.1) },
+		func() { Quantile([]float64{1}, 1.1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummaryOrderingProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs)
+		return s.Min <= s.P25 && s.P25 <= s.Median && s.Median <= s.P75 &&
+			s.P75 <= s.P95 && s.P95 <= s.Max &&
+			s.Min <= s.Mean && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{5, 7, 9, 11, 13} // y = 2x + 3
+	fit := LinearFit(x, y)
+	if !almostEq(fit.Slope, 2, 1e-9) || !almostEq(fit.Intercept, 3, 1e-9) {
+		t.Errorf("fit = %+v, want slope 2 intercept 3", fit)
+	}
+	if !almostEq(fit.R2, 1, 1e-9) {
+		t.Errorf("R² = %v, want 1", fit.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9} // ~2x
+	fit := LinearFit(x, y)
+	if fit.Slope < 1.8 || fit.Slope > 2.2 {
+		t.Errorf("slope = %v, want ~2", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R² = %v, want > 0.99", fit.R2)
+	}
+}
+
+func TestLinearFitConstantY(t *testing.T) {
+	fit := LinearFit([]float64{1, 2, 3}, []float64{5, 5, 5})
+	if !almostEq(fit.Slope, 0, 1e-9) || !almostEq(fit.Intercept, 5, 1e-9) || fit.R2 != 1 {
+		t.Errorf("constant-y fit wrong: %+v", fit)
+	}
+}
+
+func TestLinearFitPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { LinearFit([]float64{1}, []float64{1, 2}) },
+		func() { LinearFit([]float64{1}, []float64{1}) },
+		func() { LinearFit([]float64{3, 3}, []float64{1, 2}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestRatios(t *testing.T) {
+	r := Ratios([]float64{10, 20, 30}, []float64{2, 4, 5})
+	want := []float64{5, 5, 6}
+	for i := range want {
+		if !almostEq(r[i], want[i], 1e-9) {
+			t.Errorf("Ratios[%d] = %v, want %v", i, r[i], want[i])
+		}
+	}
+}
+
+func TestRatiosPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { Ratios([]float64{1}, []float64{1, 2}) },
+		func() { Ratios([]float64{1}, []float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	if g := GeometricMean([]float64{1, 100}); !almostEq(g, 10, 1e-9) {
+		t.Errorf("GeometricMean = %v, want 10", g)
+	}
+	if g := GeometricMean([]float64{7}); !almostEq(g, 7, 1e-9) {
+		t.Errorf("GeometricMean singleton = %v", g)
+	}
+}
+
+func TestGeometricMeanPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { GeometricMean(nil) },
+		func() { GeometricMean([]float64{1, -2}) },
+		func() { GeometricMean([]float64{0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	if s := Summarize([]float64{1, 2, 3}).String(); s == "" {
+		t.Error("empty summary string")
+	}
+}

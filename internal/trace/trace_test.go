@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nsmac/internal/channel"
+	"nsmac/internal/matrix"
+	"nsmac/internal/model"
+)
+
+func TestTimeline(t *testing.T) {
+	events := []channel.Event{
+		{Slot: 0, Truth: model.Silence},
+		{Slot: 1, Truth: model.Collision, Transmitters: []int{1, 2}},
+		{Slot: 2, Truth: model.Success, Winner: 7},
+		{Slot: 3, Truth: model.Success, Winner: 13},
+	}
+	got := Timeline(events, 80)
+	if got != ".*73" {
+		t.Errorf("Timeline = %q, want .*73", got)
+	}
+}
+
+func TestTimelineWraps(t *testing.T) {
+	events := make([]channel.Event, 10)
+	for i := range events {
+		events[i] = channel.Event{Slot: int64(i), Truth: model.Silence}
+	}
+	got := Timeline(events, 4)
+	lines := strings.Split(got, "\n")
+	if len(lines) != 3 || lines[0] != "...." || lines[2] != ".." {
+		t.Errorf("wrapped timeline = %q", got)
+	}
+	// Non-positive width falls back to the default without panicking.
+	if Timeline(events, 0) == "" {
+		t.Error("zero-width timeline empty")
+	}
+}
+
+func TestLegendNonEmpty(t *testing.T) {
+	if Legend() == "" {
+		t.Error("empty legend")
+	}
+}
+
+func TestRowScanStructure(t *testing.T) {
+	spec := matrix.NewSpec(64, 1, 5)
+	out := RowScan(spec, []int{3, 9}, []int64{0, 3}, 0, 40, 8)
+	if !strings.Contains(out, "u=3") || !strings.Contains(out, "u=9") {
+		t.Errorf("RowScan missing stations:\n%s", out)
+	}
+	if !strings.Contains(out, "rows=") {
+		t.Error("RowScan missing header")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 { // header + slot line + 2 stations
+		t.Errorf("RowScan has %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRowScanShowsWaiting(t *testing.T) {
+	spec := matrix.NewSpec(1<<16, 1, 5) // window 4
+	// Station woken at slot 1 waits until µ(1)=4: samples at 1,2,3 show '-'.
+	out := RowScan(spec, []int{1}, []int64{1}, 1, 5, 1)
+	if !strings.Contains(out, "-") {
+		t.Errorf("RowScan does not mark waiting:\n%s", out)
+	}
+}
+
+func TestRowScanPanics(t *testing.T) {
+	spec := matrix.NewSpec(16, 1, 1)
+	for _, fn := range []func(){
+		func() { RowScan(spec, []int{1}, []int64{0, 1}, 0, 10, 1) },
+		func() { RowScan(spec, []int{1}, []int64{0}, 0, 10, 0) },
+		func() { RowScan(spec, []int{1}, []int64{0}, 10, 10, 1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestColumnAlignment(t *testing.T) {
+	spec := matrix.NewSpec(256, 1, 7)
+	// Three stations with different wake times, inspected well after all
+	// are operative (Figure 2's setup).
+	out := ColumnAlignment(spec, []int{5, 100, 200}, []int64{0, 8, 16}, 64)
+	if !strings.Contains(out, "station 5") || !strings.Contains(out, "station 200") {
+		t.Errorf("ColumnAlignment missing stations:\n%s", out)
+	}
+	// All operative stations reference the same column.
+	col := 64 % spec.Length()
+	want := strings.Count(out, "column")
+	if want < 3 {
+		t.Errorf("expected per-station column annotations:\n%s", out)
+	}
+	_ = col
+}
+
+func TestColumnAlignmentNotYetOperative(t *testing.T) {
+	spec := matrix.NewSpec(1<<16, 1, 7) // window 4
+	out := ColumnAlignment(spec, []int{5}, []int64{2}, 2)
+	if !strings.Contains(out, "not yet operative") {
+		t.Errorf("pre-µ station not marked:\n%s", out)
+	}
+}
+
+func TestColumnAlignmentPanics(t *testing.T) {
+	spec := matrix.NewSpec(16, 1, 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	ColumnAlignment(spec, []int{1, 2}, []int64{0}, 5)
+}
