@@ -1,12 +1,16 @@
 // Command wakeup-bench regenerates every experiment table in DESIGN.md §5 /
-// EXPERIMENTS.md. Each table reproduces one theorem-backed claim of the
-// paper as a measured shape.
+// EXPERIMENTS.md, or runs a custom sweep grid. Each table reproduces one
+// theorem-backed claim of the paper as a measured shape; a custom grid sweeps
+// algorithms × wake patterns × {n, k} axes through internal/sweep's sharded
+// orchestrator.
 //
 // Examples:
 //
-//	wakeup-bench                 # full sweeps (minutes)
-//	wakeup-bench -quick          # CI-sized sweeps (seconds)
-//	wakeup-bench -only T4,T6     # a subset
+//	wakeup-bench                           # full sweeps (minutes)
+//	wakeup-bench -quick                    # CI-sized sweeps (seconds)
+//	wakeup-bench -only T4,T6 -format csv   # a subset, as CSV
+//	wakeup-bench -algos wakeupc,roundrobin -ns 256,1024 -ks 2,8,32 \
+//	    -patterns staggered:7,simultaneous -trials 10 -format json
 package main
 
 import (
@@ -17,17 +21,31 @@ import (
 	"time"
 
 	"nsmac/internal/experiments"
+	"nsmac/internal/sweep"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "CI-sized sweeps")
-		trials  = flag.Int("trials", 0, "override per-cell trial count")
-		seed    = flag.Uint64("seed", 20130527, "experiment seed (default: IPDPS 2013 conference date)")
-		only    = flag.String("only", "", "comma-separated experiment IDs (default: all)")
-		workers = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		quick    = flag.Bool("quick", false, "CI-sized sweeps")
+		trials   = flag.Int("trials", 0, "override per-cell trial count")
+		seed     = flag.Uint64("seed", 20130527, "experiment seed (default: IPDPS 2013 conference date)")
+		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		format   = flag.String("format", "text", "output format: text | csv | json")
+		algos    = flag.String("algos", "", "custom grid: comma-separated algorithms (or \"all\"); selecting this skips the experiment tables")
+		ns       = flag.String("ns", "256,1024", "custom grid: universe sizes")
+		ks       = flag.String("ks", "1,4,16,64", "custom grid: awake-station counts")
+		patterns = flag.String("patterns", "suite", "custom grid: wake patterns (simultaneous, staggered[:gap], uniform[:width], bursts[:gap], suite)")
 	)
 	flag.Parse()
+
+	if *algos != "" {
+		if *only != "" || *quick {
+			fail("-algos selects a custom grid; it cannot be combined with -only or -quick")
+		}
+		runGrid(*algos, *ns, *ks, *patterns, *trials, *seed, *workers, *format)
+		return
+	}
 
 	cfg := experiments.Config{Quick: *quick, Trials: *trials, Seed: *seed, Workers: *workers}
 
@@ -39,24 +57,104 @@ func main() {
 			id = strings.TrimSpace(id)
 			e, ok := experiments.Lookup(id)
 			if !ok {
-				fmt.Fprintf(os.Stderr, "wakeup-bench: unknown experiment %q\n", id)
-				os.Exit(1)
+				fail("unknown experiment %q", id)
 			}
 			selected = append(selected, e)
 		}
 	}
 
-	mode := "full"
-	if *quick {
-		mode = "quick"
+	text := *format == "text" || *format == ""
+	if text {
+		mode := "full"
+		if *quick {
+			mode = "quick"
+		}
+		fmt.Printf("# nsmac experiment suite — mode=%s seed=%d\n", mode, *seed)
+		fmt.Printf("# reproducing De Marco & Kowalski (IPDPS 2013); see DESIGN.md §5\n\n")
 	}
-	fmt.Printf("# nsmac experiment suite — mode=%s seed=%d\n", mode, *seed)
-	fmt.Printf("# reproducing De Marco & Kowalski (IPDPS 2013); see DESIGN.md §5\n\n")
+
+	// JSON output must stay one parseable document, so tables collect into
+	// a single array instead of streaming.
+	if *format == "json" {
+		tables := make([]*experiments.Table, len(selected))
+		for i, e := range selected {
+			tables[i] = e.Run(cfg)
+		}
+		out, err := experiments.TablesJSON(tables)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Println(string(out))
+		return
+	}
 
 	for _, e := range selected {
 		start := time.Now()
 		tbl := e.Run(cfg)
-		fmt.Print(tbl.Render())
-		fmt.Printf("   (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		out, err := tbl.Emit(*format)
+		if err != nil {
+			fail("%v", err)
+		}
+		fmt.Print(out)
+		if text {
+			fmt.Printf("   (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+		}
 	}
+}
+
+// runGrid executes a custom sweep spec assembled from the axis flags.
+func runGrid(algos, ns, ks, patterns string, trials int, seed uint64, workers int, format string) {
+	cases, err := sweep.CasesByName(algos)
+	if err != nil {
+		fail("%v", err)
+	}
+	gens, err := sweep.ParsePatterns(patterns)
+	if err != nil {
+		fail("%v", err)
+	}
+	nAxis, err := sweep.ParseInts(ns)
+	if err != nil {
+		fail("-ns: %v", err)
+	}
+	kAxis, err := sweep.ParseInts(ks)
+	if err != nil {
+		fail("-ks: %v", err)
+	}
+	if trials <= 0 {
+		trials = 8
+	}
+	spec := sweep.Spec{
+		Name:     "custom",
+		Cases:    cases,
+		Patterns: gens,
+		Ns:       nAxis,
+		Ks:       kAxis,
+		Trials:   trials,
+		Seed:     seed,
+		Workers:  workers,
+	}
+	warnSkipped(spec)
+	res, err := spec.Execute()
+	if err != nil {
+		fail("%v", err)
+	}
+	out, err := res.Render(format)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Print(out)
+}
+
+// warnSkipped reports requested grid cells the spec drops (k > n, or k
+// beyond an algorithm's feasible regime), so a smaller-than-requested sweep
+// never passes silently.
+func warnSkipped(spec sweep.Spec) {
+	for _, s := range spec.Skipped() {
+		fmt.Fprintf(os.Stderr, "wakeup-bench: skipping cell %s\n", s)
+	}
+}
+
+func fail(formatStr string, args ...any) {
+	fmt.Fprintf(os.Stderr, "wakeup-bench: "+formatStr+"\n", args...)
+	os.Exit(1)
 }

@@ -1,120 +1,192 @@
-// Command wakeup-sim runs one contention-resolution instance and prints the
-// outcome, optionally with the channel transcript and the Figure 1/2 matrix
-// renderings.
+// Command wakeup-sim runs contention-resolution instances. With a single
+// algorithm, pattern, n, k and one trial it prints the detailed outcome,
+// optionally with the channel transcript and the Figure 1/2 matrix
+// renderings. Any flag accepting a comma-separated list (or -trials > 1)
+// switches to grid mode: the cross product runs through internal/sweep's
+// sharded orchestrator and renders as an aligned table, CSV, or JSON.
 //
 // Examples:
 //
 //	wakeup-sim -algo wakeupc -n 1024 -k 8 -pattern staggered -gap 7
 //	wakeup-sim -algo wakeup_with_k -n 4096 -k 16 -pattern uniform -trace
 //	wakeup-sim -algo wakeupc -n 256 -k 3 -render
+//	wakeup-sim -algo wakeupc,rpd -n 256,1024 -k 2,8,32 -trials 5 -format csv
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"nsmac/internal/adversary"
 	"nsmac/internal/core"
 	"nsmac/internal/model"
 	"nsmac/internal/sim"
+	"nsmac/internal/sweep"
 	"nsmac/internal/trace"
 )
 
 func main() {
 	var (
-		algoName = flag.String("algo", "wakeupc", "algorithm: roundrobin | wakeup_with_s | wakeup_with_k | wakeupc | rpd | rpdk | localssf")
-		n        = flag.Int("n", 1024, "universe size (station IDs 1..n)")
-		k        = flag.Int("k", 8, "number of stations the adversary wakes")
+		algoList = flag.String("algo", "wakeupc", "algorithm(s), comma-separated: roundrobin | wakeup_with_s | wakeup_with_k | wakeupc | rpd | rpdk | beb | localssf")
+		nList    = flag.String("n", "1024", "universe size(s), comma-separated (station IDs 1..n)")
+		kList    = flag.String("k", "8", "number(s) of stations the adversary wakes, comma-separated")
 		s        = flag.Int64("s", 0, "first wake-up slot")
-		pattern  = flag.String("pattern", "simultaneous", "wake pattern: simultaneous | staggered | uniform | bursts")
+		patList  = flag.String("pattern", "simultaneous", "wake pattern(s), comma-separated: simultaneous | staggered | uniform | bursts")
 		gap      = flag.Int64("gap", 7, "gap for staggered/bursts patterns")
 		width    = flag.Int64("width", 64, "window width for the uniform pattern")
 		seed     = flag.Uint64("seed", 1, "random seed (schedules and pattern)")
-		horizon  = flag.Int64("horizon", 0, "simulation cap (0 = algorithm's own bound)")
-		showTr   = flag.Bool("trace", false, "print the channel transcript timeline")
-		render   = flag.Bool("render", false, "print the Figure 1/2 matrix renderings (wakeupc only)")
+		horizon  = flag.Int64("horizon", 0, "simulation cap (0 = algorithm's own bound; single-run mode only)")
+		trials   = flag.Int("trials", 1, "trials per grid cell (grid mode when > 1)")
+		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		format   = flag.String("format", "text", "grid-mode output format: text | csv | json")
+		showTr   = flag.Bool("trace", false, "print the channel transcript timeline (single-run mode)")
+		render   = flag.Bool("render", false, "print the Figure 1/2 matrix renderings (single-run wakeupc only)")
 	)
 	flag.Parse()
 
-	if *k < 1 || *k > *n {
+	ns, err := sweep.ParseInts(*nList)
+	if err != nil {
+		fail("-n: %v", err)
+	}
+	ks, err := sweep.ParseInts(*kList)
+	if err != nil {
+		fail("-k: %v", err)
+	}
+	algos := strings.Split(*algoList, ",")
+	pats := strings.Split(*patList, ",")
+
+	gridMode := *trials > 1 || len(ns) > 1 || len(ks) > 1 || len(algos) > 1 || len(pats) > 1
+	if gridMode {
+		runGrid(algos, pats, ns, ks, *trials, *seed, *workers, *format, *s, *gap, *width)
+		return
+	}
+	runSingle(algos[0], pats[0], ns[0], ks[0], *s, *gap, *width, *seed, *horizon, *showTr, *render)
+}
+
+// runGrid executes the cross product through the sweep orchestrator.
+func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
+	workers int, format string, s, gap, width int64) {
+
+	cases, err := sweep.CasesByName(strings.Join(algos, ","))
+	if err != nil {
+		fail("%v", err)
+	}
+	// The registry's Scenario A case declares S = 0; honor a nonzero -s.
+	for i, c := range cases {
+		if c.Name == "wakeup_with_s" {
+			cases[i].Params = func(n, k int, sd uint64) model.Params {
+				return model.Params{N: n, S: s, Seed: sd}
+			}
+		}
+	}
+	gens, err := sweep.ParsePatternsAt(strings.Join(pats, ","), s, gap, width)
+	if err != nil {
+		fail("%v", err)
+	}
+	spec := sweep.Spec{
+		Name:     "wakeup-sim",
+		Cases:    cases,
+		Patterns: gens,
+		Ns:       ns,
+		Ks:       ks,
+		Trials:   trials,
+		Seed:     seed,
+		Workers:  workers,
+	}
+	for _, sk := range spec.Skipped() {
+		fmt.Fprintf(os.Stderr, "wakeup-sim: skipping cell %s\n", sk)
+	}
+	res, err := spec.Execute()
+	if err != nil {
+		fail("%v", err)
+	}
+	out, err := res.Render(format)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Print(out)
+}
+
+// runSingle preserves the classic one-instance output with transcript and
+// matrix renderings.
+func runSingle(algoName, pattern string, n, k int, s, gap, width int64,
+	seed uint64, horizon int64, showTr, render bool) {
+
+	if k < 1 || k > n {
 		fail("need 1 <= k <= n")
 	}
 
-	p := model.Params{N: *n, S: -1, Seed: *seed}
+	p := model.Params{N: n, S: -1, Seed: seed}
 	var algo model.Algorithm
 	var hor int64
-	switch *algoName {
+	switch algoName {
 	case "roundrobin":
 		a := core.NewRoundRobin()
-		algo, hor = a, a.Horizon(*n, *k)
+		algo, hor = a, a.Horizon(n, k)
 	case "wakeup_with_s":
-		p.S = *s
-		algo, hor = core.NewWakeupWithS(), core.WakeupWithSHorizon(*n, *k)
+		p.S = s
+		algo, hor = core.NewWakeupWithS(), core.WakeupWithSHorizon(n, k)
 	case "wakeup_with_k":
-		p.K = *k
-		algo, hor = core.NewWakeupWithK(), core.WakeupWithKHorizon(*n, *k)
+		p.K = k
+		algo, hor = core.NewWakeupWithK(), core.WakeupWithKHorizon(n, k)
 	case "wakeupc":
 		a := core.NewWakeupC()
-		algo, hor = a, a.Horizon(*n, *k)
+		algo, hor = a, a.Horizon(n, k)
 	case "rpd":
 		a := core.NewRPD()
-		algo, hor = a, a.Horizon(*n, *k)
+		algo, hor = a, a.Horizon(n, k)
 	case "rpdk":
-		p.K = *k
+		p.K = k
 		a := core.NewRPDWithK()
-		algo, hor = a, a.Horizon(*n, *k)
+		algo, hor = a, a.Horizon(n, k)
+	case "beb":
+		a := core.NewBEB()
+		algo, hor = a, a.Horizon(n, k)
 	case "localssf":
-		p.K = *k
+		p.K = k
 		a := core.NewLocalSSF()
-		algo, hor = a, a.Horizon(*n, *k)
+		algo, hor = a, a.Horizon(n, k)
 	default:
-		fail("unknown algorithm %q", *algoName)
+		fail("unknown algorithm %q", algoName)
 	}
-	if *horizon > 0 {
-		hor = *horizon
+	if horizon > 0 {
+		hor = horizon
 	}
 
-	var gen adversary.Generator
-	switch *pattern {
-	case "simultaneous":
-		gen = adversary.Simultaneous(*s)
-	case "staggered":
-		gen = adversary.Staggered(*s, *gap)
-	case "uniform":
-		gen = adversary.UniformWindow(*s, *width)
-	case "bursts":
-		gen = adversary.Bursts(*s, 4, *gap)
-	default:
-		fail("unknown pattern %q", *pattern)
+	if pattern == "" || pattern == "suite" {
+		fail("the pattern suite needs grid mode; pass -trials > 1 or multiple axis values")
 	}
-	w := gen.Generate(*n, *k, *seed)
+	gens, err := sweep.ParsePatternsAt(pattern, s, gap, width)
+	if err != nil {
+		fail("%v", err)
+	}
+	gen := gens[0]
+	w := gen.Generate(n, k, seed)
 
 	fmt.Printf("algorithm : %s\n", algo.Name())
-	fmt.Printf("universe  : n=%d, k=%d awake\n", *n, *k)
+	fmt.Printf("universe  : n=%d, k=%d awake\n", n, k)
 	fmt.Printf("pattern   : %s  ids=%v wakes=%v\n", gen.Name, w.IDs, w.Wakes)
 	fmt.Printf("horizon   : %d slots\n", hor)
 
 	res, ch, err := sim.Run(algo, p, w, sim.Options{
-		Horizon: hor, Seed: *seed, RecordTrace: *showTr,
+		Horizon: hor, Seed: seed, RecordTrace: showTr,
 	})
 	if err != nil {
 		fail("run: %v", err)
 	}
 	fmt.Printf("result    : %s\n", res)
 	if res.Succeeded {
-		bound := float64(res.Rounds)
-		_ = bound
 		fmt.Printf("rounds    : %d (t−s, the paper's cost measure)\n", res.Rounds)
 	}
 
-	if *showTr {
+	if showTr {
 		fmt.Println("\ntranscript:")
 		fmt.Println(trace.Legend())
 		fmt.Println(trace.Timeline(ch.Trace(), 100))
 	}
 
-	if *render {
+	if render {
 		wc, ok := algo.(*core.WakeupC)
 		if !ok {
 			fail("-render requires -algo wakeupc")

@@ -1,0 +1,3 @@
+module nsmac
+
+go 1.24

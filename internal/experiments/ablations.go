@@ -7,6 +7,7 @@ import (
 	"nsmac/internal/core"
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
+	"nsmac/internal/sweep"
 )
 
 // T8Ablations removes the design elements DESIGN.md calls out one at a time
@@ -35,49 +36,90 @@ func T8Ablations(cfg Config) *Table {
 	seedBase := cfg.seed(0x8a)
 
 	// (a) + (b): spoiler attack on the wait barriers. The adversary gets a
-	// budget of k-1 fresh stations to burn on spoiling.
+	// budget of k-1 fresh stations to burn on spoiling. Each (ablation,
+	// variant) pair is one sweep cell; Sample.Rounds carries the rounds under
+	// attack and Sample.Aux the spoiled-success count.
 	k := 8
-	spoil := func(algo model.Algorithm, p model.Params, horizon int64) adversary.SpoilerResult {
-		return adversary.Spoiler(algo, p, k, horizon)
+	// Both variants of an ablation run against the standard variant's
+	// horizon, as the original comparison prescribed.
+	horB := core.NewWaitAndGo().Horizon(n, k)
+	horC := core.NewWakeupC().Horizon(n, k)
+	spoilCells := []struct {
+		label   string
+		mk      func() model.Algorithm
+		p       model.Params
+		horizon int64
+	}{
+		{"(a) wait_and_go vs spoiler/std", func() model.Algorithm { return core.NewWaitAndGo() },
+			model.Params{N: n, K: k, S: -1, Seed: rng.Derive(seedBase, 1)}, horB},
+		{"(a) wait_and_go vs spoiler/abl", func() model.Algorithm { return &core.WaitAndGo{DisableWait: true} },
+			model.Params{N: n, K: k, S: -1, Seed: rng.Derive(seedBase, 1)}, horB},
+		{"(b) wakeup(n) vs spoiler/std", func() model.Algorithm { return core.NewWakeupC() },
+			model.Params{N: n, S: -1, Seed: rng.Derive(seedBase, 2)}, horC},
+		{"(b) wakeup(n) vs spoiler/abl", func() model.Algorithm { return &core.WakeupC{DisableWindowWait: true} },
+			model.Params{N: n, S: -1, Seed: rng.Derive(seedBase, 2)}, horC},
+	}
+	spoilLabels := make([][]string, len(spoilCells))
+	for i, c := range spoilCells {
+		spoilLabels[i] = []string{c.label}
+	}
+	spoilRes, err := sweep.Grid{
+		Name:    "T8-spoiler",
+		Axes:    []string{"cell"},
+		Cells:   spoilLabels,
+		Trials:  1,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Run: func(ci, _ int, _ uint64) sweep.Sample {
+			c := spoilCells[ci]
+			r := adversary.Spoiler(c.mk(), c.p, k, c.horizon)
+			return sweep.Sample{OK: true, Rounds: r.Rounds, Aux: int64(r.Spoiled)}
+		},
+	}.Execute()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: T8 spoiler sweep: %v", err))
+	}
+	for i := 0; i+1 < len(spoilRes.Cells); i += 2 {
+		name := spoilCells[i].label[:len(spoilCells[i].label)-len("/std")]
+		std, abl := spoilRes.Cells[i].Samples[0], spoilRes.Cells[i+1].Samples[0]
+		t.AddRow(name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
+			"rounds under attack", fmt.Sprintf("%d", std.Rounds), fmt.Sprintf("%d", abl.Rounds))
+		t.AddRow(name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
+			"successes spoiled", fmt.Sprintf("%d", std.Aux), fmt.Sprintf("%d", abl.Aux))
 	}
 
-	pB := model.Params{N: n, K: k, S: -1, Seed: rng.Derive(seedBase, 1)}
-	wagStd := core.NewWaitAndGo()
-	wagAbl := &core.WaitAndGo{DisableWait: true}
-	horB := wagStd.Horizon(n, k)
-	sStd := spoil(wagStd, pB, horB)
-	sAbl := spoil(wagAbl, pB, horB)
-	t.AddRow("(a) wait_and_go vs spoiler", fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
-		"rounds under attack", fmt.Sprintf("%d", sStd.Rounds), fmt.Sprintf("%d", sAbl.Rounds))
-	t.AddRow("(a) wait_and_go vs spoiler", fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
-		"successes spoiled", fmt.Sprintf("%d", sStd.Spoiled), fmt.Sprintf("%d", sAbl.Spoiled))
-
-	pC := model.Params{N: n, S: -1, Seed: rng.Derive(seedBase, 2)}
-	wcStd := core.NewWakeupC()
-	wcAbl := &core.WakeupC{DisableWindowWait: true}
-	horC := wcStd.Horizon(n, k)
-	cStd := spoil(wcStd, pC, horC)
-	cAbl := spoil(wcAbl, pC, horC)
-	t.AddRow("(b) wakeup(n) vs spoiler", fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
-		"rounds under attack", fmt.Sprintf("%d", cStd.Rounds), fmt.Sprintf("%d", cAbl.Rounds))
-	t.AddRow("(b) wakeup(n) vs spoiler", fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
-		"successes spoiled", fmt.Sprintf("%d", cStd.Spoiled), fmt.Sprintf("%d", cAbl.Spoiled))
-
-	// (c) constant c sweep where row descent dominates: large k.
+	// (c) constant c sweep where row descent dominates: large k. The c axis
+	// is the grid; the trial index drives the original seed derivation.
 	kBig := 128
 	trialsC := cfg.trials(3, 8)
-	for _, c := range []int{1, 2, 4} {
-		a := &core.WakeupC{C: c}
-		var rounds []int64
-		for trial := 0; trial < trialsC; trial++ {
+	cValues := []int{1, 2, 4}
+	cLabels := make([][]string, len(cValues))
+	for i, c := range cValues {
+		cLabels[i] = []string{fmt.Sprintf("%d", c)}
+	}
+	cRes, err := sweep.Grid{
+		Name:    "T8-c",
+		Axes:    []string{"c"},
+		Cells:   cLabels,
+		Trials:  trialsC,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Run: func(ci, trial int, _ uint64) sweep.Sample {
+			a := &core.WakeupC{C: cValues[ci]}
 			seed := rng.Derive(seedBase, 0xc0+uint64(trial))
 			p := model.Params{N: n, S: -1, Seed: seed}
 			w := model.Simultaneous(rng.New(seed).Sample(n, kBig), 0)
 			m := runOnce(a, p, w, a.Horizon(n, kBig))
-			rounds = append(rounds, m.rounds)
-		}
+			return sweep.Sample{OK: m.ok, Rounds: m.rounds}
+		},
+	}.Execute()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: T8 c sweep: %v", err))
+	}
+	for i, c := range cValues {
+		sum := cRes.Cells[i].Agg.Summary()
 		t.AddRow(fmt.Sprintf("(c) wakeup(n) c=%d", c), fmt.Sprintf("%d", n), fmt.Sprintf("%d", kBig),
-			"mean / worst rounds", fmt.Sprintf("%.0f", meanOf(rounds)), fmt.Sprintf("%d", maxOf(rounds)))
+			"mean / worst rounds", fmt.Sprintf("%.0f", sum.Mean), fmt.Sprintf("%.0f", sum.Max))
 	}
 
 	// (d) family size multiplier for the standalone wait_and_go component.

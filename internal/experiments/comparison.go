@@ -7,6 +7,7 @@ import (
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
 	"nsmac/internal/sim"
+	"nsmac/internal/sweep"
 )
 
 // T6Comparison puts every algorithm on the same workload grid — the paper's
@@ -63,26 +64,37 @@ func T6Comparison(cfg Config) *Table {
 			wcCell = fmt.Sprintf("%d", wcRounds)
 		}
 
-		// The randomized baselines report means (Las Vegas, not worst-case).
+		// The randomized baselines report means (Las Vegas, not worst-case);
+		// each baseline is one sweep cell whose trials keep the original
+		// tag-offset seed derivation.
 		meanRand := func(algo model.Algorithm, horizon int64, tag uint64) float64 {
-			results := sim.Parallel(rpdTrials, cfg.Workers, func(i int) model.Result {
-				tSeed := rng.Derive(seed, tag+uint64(i))
-				w := model.Simultaneous(rng.New(tSeed).Sample(n, k), 0)
-				res, _, err := sim.Run(algo, model.Params{N: n, S: -1, Seed: tSeed}, w,
-					sim.Options{Horizon: horizon, Seed: tSeed})
-				if err != nil {
-					panic(err)
-				}
-				if !res.Succeeded {
-					res.Rounds = horizon
-				}
-				return res
-			})
-			var total int64
-			for _, r := range results {
-				total += r.Rounds
+			res, err := sweep.Grid{
+				Name:    "T6-rand",
+				Axes:    []string{"algo"},
+				Cells:   [][]string{{algo.Name()}},
+				Trials:  rpdTrials,
+				Seed:    seed,
+				Workers: cfg.Workers,
+				Run: func(_, i int, _ uint64) sweep.Sample {
+					tSeed := rng.Derive(seed, tag+uint64(i))
+					w := model.Simultaneous(rng.New(tSeed).Sample(n, k), 0)
+					r, _, err := sim.Run(algo, model.Params{N: n, S: -1, Seed: tSeed}, w,
+						sim.Options{Horizon: horizon, Seed: tSeed})
+					if err != nil {
+						panic(err)
+					}
+					if !r.Succeeded {
+						r.Rounds = horizon
+					}
+					return sweep.Sample{OK: r.Succeeded, Rounds: r.Rounds,
+						Collisions: r.Collisions, Silences: r.Silences,
+						Transmissions: r.Transmissions}
+				},
+			}.Execute()
+			if err != nil {
+				panic(err)
 			}
-			return float64(total) / float64(len(results))
+			return res.Cells[0].Agg.Summary().Mean
 		}
 		rpd := core.NewRPD()
 		rpdMean := meanRand(rpd, rpd.Horizon(n, k), 0xabc)

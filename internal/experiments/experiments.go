@@ -1,19 +1,24 @@
 // Package experiments contains one driver per table/figure in DESIGN.md §5.
-// Each driver sweeps the workload grid its experiment prescribes, runs the
-// simulations (in parallel across trials), and emits an aligned text table
-// whose rows are what EXPERIMENTS.md records. The paper has no empirical
+// Each driver declares the workload grid its experiment prescribes against
+// the internal/sweep orchestrator — which shards cells over a worker pool
+// with derived RNG streams — and emits an aligned text table whose rows are
+// what EXPERIMENTS.md records. The paper has no empirical
 // tables — its evaluation is a set of theorems — so each experiment
 // measures the *shape* a theorem promises: bounded ratios to the claimed
 // bound, growth exponents, crossovers.
 package experiments
 
 import (
+	"encoding/csv"
+	"encoding/json"
 	"fmt"
+	"strconv"
 	"strings"
 
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
 	"nsmac/internal/sim"
+	"nsmac/internal/sweep"
 )
 
 // Config tunes experiment scale.
@@ -110,6 +115,74 @@ func (t *Table) Render() string {
 	return sb.String()
 }
 
+// CSV renders the table as RFC 4180 comma-separated rows (header first; the
+// ID, title, claim and notes travel in '#' comment lines so the payload
+// stays machine-readable).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "# %s — %s\n", t.ID, t.Title)
+	if t.Claim != "" {
+		fmt.Fprintf(&sb, "# paper: %s\n", t.Claim)
+	}
+	w := csv.NewWriter(&sb)
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "# note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// jsonTable is the deterministic JSON shape of a table.
+type jsonTable struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Claim  string     `json:"claim,omitempty"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+func (t *Table) jsonShape() jsonTable {
+	return jsonTable{t.ID, t.Title, t.Claim, t.Header, t.Rows, t.Notes}
+}
+
+// JSON renders the table as deterministic indented JSON.
+func (t *Table) JSON() ([]byte, error) {
+	return json.MarshalIndent(t.jsonShape(), "", "  ")
+}
+
+// TablesJSON renders several tables as one JSON array, so multi-experiment
+// output stays a single parseable document.
+func TablesJSON(tables []*Table) ([]byte, error) {
+	out := make([]jsonTable, len(tables))
+	for i, t := range tables {
+		out[i] = t.jsonShape()
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Emit renders the table in the named format: "text", "csv" or "json".
+func (t *Table) Emit(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return t.Render(), nil
+	case "csv":
+		return t.CSV(), nil
+	case "json":
+		b, err := t.JSON()
+		if err != nil {
+			return "", err
+		}
+		return string(b) + "\n", nil
+	default:
+		return "", fmt.Errorf("experiments: unknown format %q (have text, csv, json)", format)
+	}
+}
+
 // Experiment pairs an ID with its driver.
 type Experiment struct {
 	ID    string
@@ -167,24 +240,40 @@ func runOnce(algo model.Algorithm, p model.Params, w model.WakePattern, horizon 
 	return measured{rounds: res.Rounds, ok: true}
 }
 
-// sweepPatterns measures algo across a list of wake patterns in parallel,
-// returning per-pattern rounds (failures at horizon) and the success count.
+// sweepPatterns measures algo across a list of wake patterns on the sweep
+// orchestrator (one cell per pattern), returning per-pattern rounds
+// (failures at horizon) and the success count. Every pattern runs with the
+// caller's p.Seed, as the drivers' seed discipline prescribes: trial
+// diversity comes from the patterns, not the engine seed.
 func sweepPatterns(cfg Config, algo model.Algorithm, p model.Params,
 	pats []model.WakePattern, horizon int64) ([]int64, int) {
 
-	results := sim.Parallel(len(pats), cfg.Workers, func(i int) model.Result {
-		m := runOnce(algo, p, pats[i], horizon)
-		ok := int64(0)
-		if m.ok {
-			ok = 1
-		}
-		return model.Result{Rounds: m.rounds, Winner: int(ok)}
-	})
-	rounds := make([]int64, len(results))
+	cells := make([][]string, len(pats))
+	for i := range pats {
+		cells[i] = []string{strconv.Itoa(i)}
+	}
+	res, err := sweep.Grid{
+		Name:    "patterns",
+		Axes:    []string{"pattern"},
+		Cells:   cells,
+		Trials:  1,
+		Seed:    p.Seed,
+		Workers: cfg.Workers,
+		Run: func(cell, _ int, _ uint64) sweep.Sample {
+			m := runOnce(algo, p, pats[cell], horizon)
+			return sweep.Sample{OK: m.ok, Rounds: m.rounds}
+		},
+	}.Execute()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: pattern sweep: %v", err))
+	}
+	rounds := make([]int64, len(res.Cells))
 	okCount := 0
-	for i, r := range results {
-		rounds[i] = r.Rounds
-		okCount += r.Winner
+	for i, c := range res.Cells {
+		rounds[i] = c.Samples[0].Rounds
+		if c.Samples[0].OK {
+			okCount++
+		}
 	}
 	return rounds, okCount
 }

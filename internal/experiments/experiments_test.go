@@ -273,6 +273,61 @@ func TestTablesBitReproducible(t *testing.T) {
 	}
 }
 
+func TestTablesWorkerCountInvariant(t *testing.T) {
+	// The sweep orchestrator's guarantee surfaced at the table level: the
+	// same seed renders byte-identically — in every output format — whether
+	// the grid runs on one worker or eight.
+	one := Config{Quick: true, Trials: 2, Seed: 41, Workers: 1}
+	eight := Config{Quick: true, Trials: 2, Seed: 41, Workers: 8}
+	for _, id := range []string{"T1", "T4", "T7", "T9"} {
+		e, ok := Lookup(id)
+		if !ok {
+			t.Fatalf("missing %s", id)
+		}
+		ta, tb := e.Run(one), e.Run(eight)
+		for _, format := range []string{"text", "csv", "json"} {
+			a, err := ta.Emit(format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := tb.Emit(format)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a != b {
+				t.Errorf("%s %s output differs between 1 and 8 workers", id, format)
+			}
+		}
+	}
+}
+
+func TestTableEmitFormats(t *testing.T) {
+	tbl := &Table{ID: "TX", Title: "demo", Claim: "c", Header: []string{"a", "b"}}
+	tbl.AddRow("1", `x,"y`)
+	tbl.AddNote("n")
+	csv, err := tbl.Emit("csv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"# TX — demo", "a,b", `1,"x,""y"`, "# note: n"} {
+		if !strings.Contains(csv, want) {
+			t.Errorf("csv missing %q:\n%s", want, csv)
+		}
+	}
+	js, err := tbl.Emit("json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"id": "TX"`, `"rows"`} {
+		if !strings.Contains(js, want) {
+			t.Errorf("json missing %q", want)
+		}
+	}
+	if _, err := tbl.Emit("yaml"); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
 func TestConfigTrials(t *testing.T) {
 	if (Config{Quick: true}).trials(3, 9) != 3 {
 		t.Error("quick default wrong")

@@ -9,6 +9,7 @@ import (
 	"nsmac/internal/rng"
 	"nsmac/internal/sim"
 	"nsmac/internal/stats"
+	"nsmac/internal/sweep"
 )
 
 // T9ConflictResolution measures the Komlós–Greenberg extension: letting
@@ -26,46 +27,67 @@ func T9ConflictResolution(cfg Config) *Table {
 		ns = append(ns, 1024)
 	}
 	trials := cfg.trials(3, 8)
-	var bounds, worsts []float64
+
+	// The (n, k) grid declared against sweep: Sample.Rounds carries the
+	// conflict-resolution slot count; the per-trial station draw keeps the
+	// original seed derivation.
+	type cell struct{ n, k int }
+	var cells []cell
+	var labels [][]string
 	for _, n := range ns {
 		for _, k := range []int{1, 2, 4, 8, 16, 32, 64} {
 			if k > n {
 				continue
 			}
-			seed := cfg.seed(uint64(n)<<16 | uint64(k))
-			a := core.NewKGConflictResolution()
-			p := model.Params{N: n, K: k, S: -1, Seed: seed}
-
-			var slots []int64
-			fails := 0
-			for trial := 0; trial < trials; trial++ {
-				ids := rng.New(rng.Derive(seed, uint64(trial))).Sample(n, k)
-				w := model.Simultaneous(ids, 0)
-				all, err := sim.RunAll(a, p, w, sim.Options{Horizon: a.Horizon(n, k), Seed: seed})
-				if err != nil {
-					panic(err)
-				}
-				if !all.Succeeded {
-					fails++
-				}
-				slots = append(slots, all.Slots)
-			}
-			// KG bound with the interleaving factor 2 folded into the
-			// constant: k + k log(n/k), as in the paper's §1.
-			bound := mathx.BoundKLogNK(n, k)
-			worst := maxOf(slots)
-			bounds = append(bounds, float64(bound))
-			worsts = append(worsts, float64(worst))
-			row := []string{
-				fmt.Sprintf("%d", n), fmt.Sprintf("%d", k), fmt.Sprintf("%d", trials),
-				fmt.Sprintf("%.1f", meanOf(slots)), fmt.Sprintf("%d", worst),
-				fmt.Sprintf("%d", bound), fmt.Sprintf("%.2f", float64(worst)/float64(bound)),
-			}
-			if fails > 0 {
-				row[len(row)-1] += fmt.Sprintf(" (%d FAIL)", fails)
-			}
-			t.AddRow(row...)
+			cells = append(cells, cell{n, k})
+			labels = append(labels, []string{fmt.Sprintf("%d", n), fmt.Sprintf("%d", k)})
 		}
+	}
+	res, err := sweep.Grid{
+		Name:    "T9",
+		Axes:    []string{"n", "k"},
+		Cells:   labels,
+		Trials:  trials,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Run: func(ci, trial int, _ uint64) sweep.Sample {
+			c := cells[ci]
+			seed := cfg.seed(uint64(c.n)<<16 | uint64(c.k))
+			a := core.NewKGConflictResolution()
+			p := model.Params{N: c.n, K: c.k, S: -1, Seed: seed}
+			ids := rng.New(rng.Derive(seed, uint64(trial))).Sample(c.n, c.k)
+			w := model.Simultaneous(ids, 0)
+			all, err := sim.RunAll(a, p, w, sim.Options{Horizon: a.Horizon(c.n, c.k), Seed: seed})
+			if err != nil {
+				panic(err)
+			}
+			return sweep.Sample{OK: all.Succeeded, Rounds: all.Slots}
+		},
+	}.Execute()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: T9 sweep: %v", err))
+	}
+
+	var bounds, worsts []float64
+	for ci, c := range cells {
+		agg := res.Cells[ci].Agg
+		sum := agg.Summary()
+		fails := agg.Trials - agg.Successes
+		// KG bound with the interleaving factor 2 folded into the
+		// constant: k + k log(n/k), as in the paper's §1.
+		bound := mathx.BoundKLogNK(c.n, c.k)
+		worst := int64(sum.Max)
+		bounds = append(bounds, float64(bound))
+		worsts = append(worsts, float64(worst))
+		row := []string{
+			fmt.Sprintf("%d", c.n), fmt.Sprintf("%d", c.k), fmt.Sprintf("%d", trials),
+			fmt.Sprintf("%.1f", sum.Mean), fmt.Sprintf("%d", worst),
+			fmt.Sprintf("%d", bound), fmt.Sprintf("%.2f", float64(worst)/float64(bound)),
+		}
+		if fails > 0 {
+			row[len(row)-1] += fmt.Sprintf(" (%d FAIL)", fails)
+		}
+		t.AddRow(row...)
 	}
 	if len(bounds) >= 2 {
 		fit := stats.LinearFit(bounds, worsts)
@@ -90,30 +112,45 @@ func T10TreeCD(cfg Config) *Table {
 	}
 	trials := cfg.trials(3, 8)
 	a := core.NewTreeCD()
+
+	// The k axis declared against sweep: each trial runs both the
+	// first-success and full-enumeration measurements on the same pattern.
+	// Sample.Rounds carries first-success rounds, Sample.Aux the
+	// enumeration slots.
+	var ks []int
+	var labels [][]string
 	for _, k := range []int{1, 2, 4, 8, 16, 32, 64, 128} {
 		if k > n {
 			continue
 		}
-		seed := cfg.seed(uint64(k) << 4)
-		p := model.Params{N: n, S: -1, Seed: seed}
-
-		var firsts, alls []int64
-		for trial := 0; trial < trials; trial++ {
+		ks = append(ks, k)
+		labels = append(labels, []string{fmt.Sprintf("%d", k)})
+	}
+	res, err := sweep.Grid{
+		Name:    "T10",
+		Axes:    []string{"k"},
+		Cells:   labels,
+		Trials:  trials,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Run: func(ci, trial int, _ uint64) sweep.Sample {
+			k := ks[ci]
+			seed := cfg.seed(uint64(k) << 4)
+			p := model.Params{N: n, S: -1, Seed: seed}
 			ids := rng.New(rng.Derive(seed, uint64(trial))).Sample(n, k)
 			w := model.Simultaneous(ids, 0)
 
-			res, _, err := sim.Run(a, p, w, sim.Options{
+			r, _, err := sim.Run(a, p, w, sim.Options{
 				Horizon: a.Horizon(n, k), Adaptive: true,
 				Feedback: model.CollisionDetection, Seed: seed,
 			})
 			if err != nil {
 				panic(err)
 			}
-			r := res.Rounds
-			if !res.Succeeded {
-				r = a.Horizon(n, k)
+			first := r.Rounds
+			if !r.Succeeded {
+				first = a.Horizon(n, k)
 			}
-			firsts = append(firsts, r)
 
 			all, err := sim.RunAll(a, p, w, sim.Options{
 				Horizon: 4 * a.Horizon(n, k), Feedback: model.CollisionDetection, Seed: seed,
@@ -125,14 +162,29 @@ func T10TreeCD(cfg Config) *Table {
 			if !all.Succeeded {
 				s = 4 * a.Horizon(n, k)
 			}
-			alls = append(alls, s)
+			return sweep.Sample{OK: r.Succeeded && all.Succeeded, Rounds: first, Aux: s}
+		},
+	}.Execute()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: T10 sweep: %v", err))
+	}
+
+	for ci, k := range ks {
+		var worstFirst, worstAll int64
+		for _, s := range res.Cells[ci].Samples {
+			if s.Rounds > worstFirst {
+				worstFirst = s.Rounds
+			}
+			if s.Aux > worstAll {
+				worstAll = s.Aux
+			}
 		}
 		bound := mathx.BoundKLogNK(n, k)
 		t.AddRow(
 			fmt.Sprintf("%d", n), fmt.Sprintf("%d", k), fmt.Sprintf("%d", trials),
-			fmt.Sprintf("%d", maxOf(firsts)), fmt.Sprintf("%d", maxOf(alls)),
+			fmt.Sprintf("%d", worstFirst), fmt.Sprintf("%d", worstAll),
 			fmt.Sprintf("%d", bound),
-			fmt.Sprintf("%.2f", float64(maxOf(alls))/float64(bound)),
+			fmt.Sprintf("%.2f", float64(worstAll)/float64(bound)),
 		)
 	}
 	t.AddNote("simultaneous start (the tree algorithm's model); feedback = collision detection")

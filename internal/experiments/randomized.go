@@ -9,6 +9,7 @@ import (
 	"nsmac/internal/rng"
 	"nsmac/internal/sim"
 	"nsmac/internal/stats"
+	"nsmac/internal/sweep"
 )
 
 // T5RPD measures §6's randomized baselines: RPD with ℓ = 2⌈log n⌉ has
@@ -35,26 +36,39 @@ func T5RPD(cfg Config) *Table {
 		n, k := g.n, g.k
 		seed := cfg.seed(uint64(n)<<24 | uint64(k))
 
+		// Each algorithm is one sweep cell; the trial index drives the
+		// original per-trial seed derivation, so tables are unchanged.
 		measure := func(algo model.Algorithm, p model.Params, horizon int64) stats.Summary {
-			rounds := sim.Parallel(trials, cfg.Workers, func(i int) model.Result {
-				tSeed := rng.Derive(seed, uint64(i))
-				pp := p
-				pp.Seed = tSeed
-				w := model.Simultaneous(rng.New(rng.Derive(tSeed, 1)).Sample(n, k), 0)
-				res, _, err := sim.Run(algo, pp, w, sim.Options{Horizon: horizon, Seed: tSeed})
-				if err != nil {
-					panic(err)
-				}
-				if !res.Succeeded {
-					res.Rounds = horizon
-				}
-				return res
-			})
-			xs := make([]int64, len(rounds))
-			for i, r := range rounds {
-				xs[i] = r.Rounds
+			res, err := sweep.Grid{
+				Name:    "T5",
+				Axes:    []string{"algo"},
+				Cells:   [][]string{{algo.Name()}},
+				Trials:  trials,
+				Seed:    seed,
+				Workers: cfg.Workers,
+				Run: func(_, i int, _ uint64) sweep.Sample {
+					tSeed := rng.Derive(seed, uint64(i))
+					pp := p
+					pp.Seed = tSeed
+					w := model.Simultaneous(rng.New(rng.Derive(tSeed, 1)).Sample(n, k), 0)
+					r, _, err := sim.Run(algo, pp, w, sim.Options{Horizon: horizon, Seed: tSeed})
+					if err != nil {
+						panic(err)
+					}
+					if !r.Succeeded {
+						r.Rounds = horizon
+					}
+					return sweep.Sample{
+						OK: r.Succeeded, Rounds: r.Rounds,
+						Collisions: r.Collisions, Silences: r.Silences,
+						Transmissions: r.Transmissions,
+					}
+				},
+			}.Execute()
+			if err != nil {
+				panic(err)
 			}
-			return stats.SummarizeInt64(xs)
+			return res.Cells[0].Agg.Summary()
 		}
 
 		rpdN := core.NewRPD()

@@ -9,6 +9,7 @@ import (
 	"nsmac/internal/rng"
 	"nsmac/internal/sim"
 	"nsmac/internal/stats"
+	"nsmac/internal/sweep"
 )
 
 // T11SeedRobustness validates the probabilistic-method substitution
@@ -28,31 +29,43 @@ func T11SeedRobustness(cfg Config) *Table {
 	seeds := cfg.trials(40, 300)
 	grid := []struct{ n, k int }{{256, 8}, {1024, 16}}
 
-	sweep := func(name string, n, k int, mkAlgo func() model.Algorithm,
+	// Each construction is one sweep cell whose trials are the seed draws;
+	// the trial index drives the original seed derivation.
+	seedSweep := func(name string, n, k int, mkAlgo func() model.Algorithm,
 		mkParams func(seed uint64) model.Params, horizon int64) {
 
 		gen := adversary.Staggered(0, 3)
-		rounds := sim.Parallel(seeds, cfg.Workers, func(i int) model.Result {
-			seed := rng.Derive(cfg.seed(0x11), uint64(i))
-			p := mkParams(seed)
-			w := gen.Generate(n, k, rng.Derive(seed, 5))
-			res, _, err := sim.Run(mkAlgo(), p, w, sim.Options{Horizon: horizon, Seed: seed})
-			if err != nil {
-				panic(err)
-			}
-			if !res.Succeeded {
-				res.Rounds = -1
-			}
-			return res
-		})
+		res, err := sweep.Grid{
+			Name:    "T11",
+			Axes:    []string{"construction"},
+			Cells:   [][]string{{name}},
+			Trials:  seeds,
+			Seed:    cfg.Seed,
+			Workers: cfg.Workers,
+			Run: func(_, i int, _ uint64) sweep.Sample {
+				seed := rng.Derive(cfg.seed(0x11), uint64(i))
+				p := mkParams(seed)
+				w := gen.Generate(n, k, rng.Derive(seed, 5))
+				r, _, err := sim.Run(mkAlgo(), p, w, sim.Options{Horizon: horizon, Seed: seed})
+				if err != nil {
+					panic(err)
+				}
+				return sweep.Sample{OK: r.Succeeded, Rounds: r.Rounds,
+					Collisions: r.Collisions, Silences: r.Silences,
+					Transmissions: r.Transmissions}
+			},
+		}.Execute()
+		if err != nil {
+			panic(fmt.Sprintf("experiments: T11 sweep: %v", err))
+		}
 		var xs []int64
 		failures := 0
-		for _, r := range rounds {
-			if r.Rounds < 0 {
+		for _, s := range res.Cells[0].Samples {
+			if !s.OK {
 				failures++
 				continue
 			}
-			xs = append(xs, r.Rounds)
+			xs = append(xs, s.Rounds)
 		}
 		if len(xs) == 0 {
 			t.AddRow(name, fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
@@ -69,11 +82,11 @@ func T11SeedRobustness(cfg Config) *Table {
 	for _, g := range grid {
 		n, k := g.n, g.k
 		wc := core.NewWakeupC()
-		sweep("waking matrix (wakeup(n))", n, k,
+		seedSweep("waking matrix (wakeup(n))", n, k,
 			func() model.Algorithm { return wc },
 			func(seed uint64) model.Params { return model.Params{N: n, S: -1, Seed: seed} },
 			wc.Horizon(n, k))
-		sweep("selective families (wwk)", n, k,
+		seedSweep("selective families (wwk)", n, k,
 			func() model.Algorithm { return core.NewWakeupWithK() },
 			func(seed uint64) model.Params { return model.Params{N: n, K: k, S: -1, Seed: seed} },
 			core.WakeupWithKHorizon(n, k))

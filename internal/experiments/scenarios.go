@@ -9,6 +9,7 @@ import (
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
 	"nsmac/internal/stats"
+	"nsmac/internal/sweep"
 )
 
 // T1LowerBound probes Theorem 2.1: the swap adversary must force any
@@ -27,33 +28,68 @@ func T1LowerBound(cfg Config) *Table {
 	if cfg.Quick {
 		ns = []int{64}
 	}
-	violations := 0
+
+	// Each grid cell is one adversary search: (n, k, algorithm). The swap
+	// search is the trial body; forced slots land in Sample.Rounds.
+	type cell struct{ n, k, algo int } // algo: 0 = round-robin, 1 = wwk
+	var cells []cell
+	var labels [][]string
+	algoNames := []string{"rr", "wwk"}
 	for _, n := range ns {
 		for _, k := range []int{2, 4, n / 4, n / 2, n - 4} {
 			if k < 2 || k > n {
 				continue
 			}
-			bound := mathx.BoundLowerMinKN(n, k)
-
-			rr := core.NewRoundRobin()
-			pRR := model.Params{N: n, S: -1, Seed: cfg.seed(uint64(n*37 + k))}
-			resRR := adversary.Swap(rr, pRR, k, rr.Horizon(n, k), false)
-
-			wwk := core.NewWakeupWithK()
-			pK := model.Params{N: n, K: k, S: -1, Seed: cfg.seed(uint64(n*41 + k))}
-			resK := adversary.Swap(wwk, pK, k, core.WakeupWithKHorizon(n, k), false)
-
-			okRR := resRR.ForcedRounds+1 >= bound
-			okK := resK.ForcedRounds+1 >= bound
-			if !okRR || !okK {
-				violations++
+			for a := range algoNames {
+				cells = append(cells, cell{n, k, a})
+				labels = append(labels, []string{
+					fmt.Sprintf("%d", n), fmt.Sprintf("%d", k), algoNames[a],
+				})
 			}
-			t.AddRow(
-				fmt.Sprintf("%d", n), fmt.Sprintf("%d", k), fmt.Sprintf("%d", bound),
-				fmt.Sprintf("%d", resRR.ForcedRounds+1), fmt.Sprintf("%d", resK.ForcedRounds+1),
-				fmt.Sprintf("%v", okRR), fmt.Sprintf("%v", okK),
-			)
 		}
+	}
+	res, err := sweep.Grid{
+		Name:    "T1",
+		Axes:    []string{"n", "k", "algo"},
+		Cells:   labels,
+		Trials:  1,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Run: func(ci, _ int, _ uint64) sweep.Sample {
+			c := cells[ci]
+			var forced int64
+			if c.algo == 0 {
+				rr := core.NewRoundRobin()
+				p := model.Params{N: c.n, S: -1, Seed: cfg.seed(uint64(c.n*37 + c.k))}
+				forced = adversary.Swap(rr, p, c.k, rr.Horizon(c.n, c.k), false).ForcedRounds
+			} else {
+				p := model.Params{N: c.n, K: c.k, S: -1, Seed: cfg.seed(uint64(c.n*41 + c.k))}
+				forced = adversary.Swap(core.NewWakeupWithK(), p, c.k,
+					core.WakeupWithKHorizon(c.n, c.k), false).ForcedRounds
+			}
+			return sweep.Sample{OK: true, Rounds: forced}
+		},
+	}.Execute()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: T1 sweep: %v", err))
+	}
+
+	violations := 0
+	for i := 0; i+1 < len(res.Cells); i += 2 {
+		c := cells[i]
+		bound := mathx.BoundLowerMinKN(c.n, c.k)
+		forcedRR := res.Cells[i].Samples[0].Rounds
+		forcedK := res.Cells[i+1].Samples[0].Rounds
+		okRR := forcedRR+1 >= bound
+		okK := forcedK+1 >= bound
+		if !okRR || !okK {
+			violations++
+		}
+		t.AddRow(
+			fmt.Sprintf("%d", c.n), fmt.Sprintf("%d", c.k), fmt.Sprintf("%d", bound),
+			fmt.Sprintf("%d", forcedRR+1), fmt.Sprintf("%d", forcedK+1),
+			fmt.Sprintf("%v", okRR), fmt.Sprintf("%v", okK),
+		)
 	}
 	if violations == 0 {
 		t.AddNote("SHAPE OK: every forced slot count meets the theoretical lower bound")
@@ -63,8 +99,9 @@ func T1LowerBound(cfg Config) *Table {
 	return t
 }
 
-// scenarioSweep runs a (k ↦ worst/mean rounds) sweep of an algorithm over
-// the adversary suite and reports rounds against a bound function.
+// scenarioSweep declares a (k × pattern) grid against the sweep orchestrator
+// — one cell per adversary pattern, all k values sharded through one worker
+// pool — and reports per-k worst/mean rounds against a bound function.
 func scenarioSweep(cfg Config, t *Table, n int, ks []int,
 	mkParams func(n, k int, seed uint64) model.Params,
 	algoFor func(p model.Params) model.Algorithm,
@@ -73,9 +110,21 @@ func scenarioSweep(cfg Config, t *Table, n int, ks []int,
 	gens []adversary.Generator) {
 
 	trials := cfg.trials(3, 8)
-	var ratios []float64
-	var bounds, worsts []float64
-	failures := 0
+
+	// Enumerate the grid: for each k, the adversary patterns drawn from the
+	// per-k derived seed (the drivers' seed discipline), filtered to the
+	// scenario's premise where one applies.
+	type cell struct {
+		k       int
+		pat     model.WakePattern
+		p       model.Params
+		algo    model.Algorithm
+		horizon int64
+	}
+	var cells []cell
+	var labels [][]string
+	var kOrder []int
+	perK := map[int]int{} // k -> number of cells
 	for _, k := range ks {
 		if k > n {
 			continue
@@ -101,11 +150,47 @@ func scenarioSweep(cfg Config, t *Table, n int, ks []int,
 			}
 			pats = kept
 		}
-		rounds, ok := sweepPatterns(cfg, algo, p, pats, horizon)
-		failures += len(pats) - ok
+		kOrder = append(kOrder, k)
+		perK[k] = len(pats)
+		for pi, w := range pats {
+			cells = append(cells, cell{k: k, pat: w, p: p, algo: algo, horizon: horizon})
+			labels = append(labels, []string{fmt.Sprintf("%d", k), fmt.Sprintf("%d", pi)})
+		}
+	}
 
-		worst := maxOf(rounds)
-		mean := meanOf(rounds)
+	res, err := sweep.Grid{
+		Name:    fmt.Sprintf("%s n=%d", t.ID, n),
+		Axes:    []string{"k", "pattern"},
+		Cells:   labels,
+		Trials:  1,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Run: func(ci, _ int, _ uint64) sweep.Sample {
+			c := cells[ci]
+			m := runOnce(c.algo, c.p, c.pat, c.horizon)
+			return sweep.Sample{OK: m.ok, Rounds: m.rounds}
+		},
+	}.Execute()
+	if err != nil {
+		panic(fmt.Sprintf("experiments: scenario sweep: %v", err))
+	}
+
+	// Fold cells back into per-k rows, in k order.
+	var ratios []float64
+	var bounds, worsts []float64
+	failures := 0
+	next := 0
+	for _, k := range kOrder {
+		count := perK[k]
+		var agg stats.Aggregate
+		for _, c := range res.Cells[next : next+count] {
+			agg.Merge(c.Agg)
+		}
+		next += count
+		failures += agg.Trials - agg.Successes
+
+		sum := agg.Summary()
+		worst := int64(sum.Max)
 		bound := boundFor(n, k)
 		// Rounds are 0-based (t−s); the bound counts slots, so compare
 		// worst+1 clamped to ≥1 to keep ratios positive for instant wins.
@@ -116,8 +201,8 @@ func scenarioSweep(cfg Config, t *Table, n int, ks []int,
 
 		t.AddRow(
 			fmt.Sprintf("%d", n), fmt.Sprintf("%d", k),
-			fmt.Sprintf("%d", len(pats)),
-			fmt.Sprintf("%.1f", mean), fmt.Sprintf("%d", worst),
+			fmt.Sprintf("%d", agg.Trials),
+			fmt.Sprintf("%.1f", sum.Mean), fmt.Sprintf("%d", worst),
 			fmt.Sprintf("%d", bound), fmt.Sprintf("%.2f", ratio),
 		)
 	}

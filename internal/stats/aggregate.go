@@ -1,0 +1,58 @@
+package stats
+
+// Aggregate accumulates per-trial simulation outcomes for one sweep cell and
+// merges across shards. It is the streaming counterpart of Summarize: workers
+// feed trials in as they finish, and cell aggregates combine into grid totals
+// with plain counter addition, so any sharding of the same trial set yields
+// the same aggregate.
+type Aggregate struct {
+	// Trials counts every outcome fed in; Successes those that resolved
+	// before their horizon.
+	Trials    int
+	Successes int
+	// Rounds holds the per-trial cost samples (failures recorded at the
+	// horizon), in insertion order. Quantiles sort a copy, so the order in
+	// which shards merged does not affect any derived statistic.
+	Rounds []float64
+	// Collisions, Silences and Transmissions total the waste and energy
+	// counters across trials.
+	Collisions    int64
+	Silences      int64
+	Transmissions int64
+}
+
+// AddTrial feeds one trial outcome.
+func (a *Aggregate) AddTrial(rounds float64, ok bool, collisions, silences, transmissions int64) {
+	a.Trials++
+	if ok {
+		a.Successes++
+	}
+	a.Rounds = append(a.Rounds, rounds)
+	a.Collisions += collisions
+	a.Silences += silences
+	a.Transmissions += transmissions
+}
+
+// Merge folds b into a. Counters add; round samples concatenate.
+func (a *Aggregate) Merge(b Aggregate) {
+	a.Trials += b.Trials
+	a.Successes += b.Successes
+	a.Rounds = append(a.Rounds, b.Rounds...)
+	a.Collisions += b.Collisions
+	a.Silences += b.Silences
+	a.Transmissions += b.Transmissions
+}
+
+// SuccessRate returns the fraction of trials that resolved (0 for none run).
+func (a Aggregate) SuccessRate() float64 {
+	if a.Trials == 0 {
+		return 0
+	}
+	return float64(a.Successes) / float64(a.Trials)
+}
+
+// Summary condenses the rounds samples. It panics if no trial was added,
+// matching Summarize's contract.
+func (a Aggregate) Summary() Summary {
+	return Summarize(a.Rounds)
+}

@@ -1,0 +1,57 @@
+package stats
+
+import "testing"
+
+func TestAggregateAddTrial(t *testing.T) {
+	var a Aggregate
+	a.AddTrial(10, true, 2, 3, 7)
+	a.AddTrial(30, false, 1, 0, 5)
+	if a.Trials != 2 || a.Successes != 1 {
+		t.Errorf("counts wrong: %+v", a)
+	}
+	if a.Collisions != 3 || a.Silences != 3 || a.Transmissions != 12 {
+		t.Errorf("counters wrong: %+v", a)
+	}
+	if got := a.SuccessRate(); got != 0.5 {
+		t.Errorf("success rate %v, want 0.5", got)
+	}
+	sum := a.Summary()
+	if sum.Count != 2 || sum.Mean != 20 || sum.Min != 10 || sum.Max != 30 {
+		t.Errorf("summary wrong: %+v", sum)
+	}
+}
+
+func TestAggregateMerge(t *testing.T) {
+	var a, b Aggregate
+	a.AddTrial(1, true, 1, 0, 2)
+	b.AddTrial(3, false, 0, 4, 6)
+	b.AddTrial(5, true, 2, 1, 1)
+	a.Merge(b)
+	if a.Trials != 3 || a.Successes != 2 {
+		t.Errorf("merged counts wrong: %+v", a)
+	}
+	if a.Collisions != 3 || a.Silences != 5 || a.Transmissions != 9 {
+		t.Errorf("merged counters wrong: %+v", a)
+	}
+	if len(a.Rounds) != 3 || a.Rounds[0] != 1 || a.Rounds[2] != 5 {
+		t.Errorf("merged rounds wrong: %v", a.Rounds)
+	}
+}
+
+func TestAggregateZeroValues(t *testing.T) {
+	var a Aggregate
+	if a.SuccessRate() != 0 {
+		t.Error("empty aggregate success rate should be 0")
+	}
+	var b Aggregate
+	a.Merge(b)
+	if a.Trials != 0 {
+		t.Error("merging empty aggregates should stay empty")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Summary of empty aggregate should panic (Summarize contract)")
+		}
+	}()
+	_ = a.Summary()
+}

@@ -1,0 +1,165 @@
+package sweep
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// statColumns are the derived columns every rendering appends after the axes.
+var statColumns = []string{
+	"trials", "ok", "mean", "median", "p95", "max",
+	"collisions", "silences", "transmissions", "success_rate",
+}
+
+// statCells formats one cell's aggregate into the statColumns order. The
+// formats are fixed-precision so output is byte-stable.
+func statCells(c CellResult) []string {
+	sum := c.Agg.Summary()
+	return []string{
+		fmt.Sprintf("%d", c.Agg.Trials),
+		fmt.Sprintf("%d", c.Agg.Successes),
+		fmt.Sprintf("%.1f", sum.Mean),
+		fmt.Sprintf("%.1f", sum.Median),
+		fmt.Sprintf("%.1f", sum.P95),
+		fmt.Sprintf("%.0f", sum.Max),
+		fmt.Sprintf("%d", c.Agg.Collisions),
+		fmt.Sprintf("%d", c.Agg.Silences),
+		fmt.Sprintf("%d", c.Agg.Transmissions),
+		fmt.Sprintf("%.3f", c.Agg.SuccessRate()),
+	}
+}
+
+// header returns the full column list: axes then derived statistics.
+func (r *Result) header() []string {
+	return append(append([]string{}, r.Axes...), statColumns...)
+}
+
+// rows returns every cell as a full row of rendered cells.
+func (r *Result) rows() [][]string {
+	out := make([][]string, len(r.Cells))
+	for i, c := range r.Cells {
+		out[i] = append(append([]string{}, c.Cell...), statCells(c)...)
+	}
+	return out
+}
+
+// Text renders the sweep as an aligned text table.
+func (r *Result) Text() string {
+	header := r.header()
+	rows := r.rows()
+
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+
+	var sb strings.Builder
+	if r.Name != "" {
+		fmt.Fprintf(&sb, "== sweep %s (%d cells)\n", r.Name, len(r.Cells))
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("  ")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// CSV renders the sweep as RFC 4180 comma-separated rows.
+func (r *Result) CSV() string {
+	var sb strings.Builder
+	w := csv.NewWriter(&sb)
+	_ = w.Write(r.header())
+	for _, row := range r.rows() {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// jsonCell is the JSON shape of one cell: coordinates plus the aggregate's
+// derived statistics. Field order (and therefore the byte output) is fixed
+// by the struct definition.
+type jsonCell struct {
+	Cell          []string `json:"cell"`
+	Trials        int      `json:"trials"`
+	Successes     int      `json:"successes"`
+	Mean          float64  `json:"mean_rounds"`
+	Median        float64  `json:"median_rounds"`
+	P95           float64  `json:"p95_rounds"`
+	Max           float64  `json:"max_rounds"`
+	Collisions    int64    `json:"collisions"`
+	Silences      int64    `json:"silences"`
+	Transmissions int64    `json:"transmissions"`
+	SuccessRate   float64  `json:"success_rate"`
+}
+
+type jsonResult struct {
+	Name  string     `json:"name"`
+	Axes  []string   `json:"axes"`
+	Cells []jsonCell `json:"cells"`
+}
+
+// JSON renders the sweep as deterministic indented JSON.
+func (r *Result) JSON() ([]byte, error) {
+	out := jsonResult{Name: r.Name, Axes: r.Axes, Cells: make([]jsonCell, len(r.Cells))}
+	for i, c := range r.Cells {
+		sum := c.Agg.Summary()
+		out.Cells[i] = jsonCell{
+			Cell:          c.Cell,
+			Trials:        c.Agg.Trials,
+			Successes:     c.Agg.Successes,
+			Mean:          sum.Mean,
+			Median:        sum.Median,
+			P95:           sum.P95,
+			Max:           sum.Max,
+			Collisions:    c.Agg.Collisions,
+			Silences:      c.Agg.Silences,
+			Transmissions: c.Agg.Transmissions,
+			SuccessRate:   c.Agg.SuccessRate(),
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// Render emits the sweep in the named format: "text", "csv" or "json".
+func (r *Result) Render(format string) (string, error) {
+	switch format {
+	case "", "text":
+		return r.Text(), nil
+	case "csv":
+		return r.CSV(), nil
+	case "json":
+		b, err := r.JSON()
+		if err != nil {
+			return "", err
+		}
+		return string(b) + "\n", nil
+	default:
+		return "", fmt.Errorf("sweep: unknown format %q (have text, csv, json)", format)
+	}
+}

@@ -1,0 +1,335 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"nsmac/internal/adversary"
+	"nsmac/internal/core"
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+	"nsmac/internal/sim"
+)
+
+// Case names an algorithm under sweep together with the knowledge it is
+// granted and the horizon it is given per (n, k) cell.
+type Case struct {
+	// Name labels the case on the sweep's algo axis.
+	Name string
+	// Algo constructs the algorithm for a cell.
+	Algo func(n, k int) model.Algorithm
+	// Params grants the cell's knowledge (Scenario A/B/C switches).
+	Params func(n, k int, seed uint64) model.Params
+	// Horizon caps each trial for the cell.
+	Horizon func(n, k int) int64
+	// MaxK, when > 0, skips cells with k > MaxK (algorithms whose schedules
+	// grow out of their feasible regime, e.g. LocalSSF's quadratic ladders).
+	MaxK int
+}
+
+// Spec is the declarative sweep: the cross product of Cases × Patterns ×
+// Ns × Ks, Trials trials per cell, each trial driving sim.Run with a pattern
+// drawn from the trial's derived stream.
+type Spec struct {
+	// Name labels the sweep in rendered output.
+	Name string
+	// Cases are the algorithms on the grid's algo axis.
+	Cases []Case
+	// Patterns are the adversary wake-pattern families.
+	Patterns []adversary.Generator
+	// Ns and Ks are the universe-size and awake-count axes; cells with
+	// k > n are skipped.
+	Ns, Ks []int
+	// Trials is the per-cell trial count.
+	Trials int
+	// Seed keys the whole sweep.
+	Seed uint64
+	// Workers bounds the cell worker pool (<= 0 selects GOMAXPROCS).
+	Workers int
+}
+
+// patternStream offsets the pattern draw from the algorithm-seed draw inside
+// one trial stream, so the two stay independent.
+const patternStream = 0x9a77e12
+
+// PatternSeed returns the stream a spec trial draws its wake pattern from.
+// Exposed so reference implementations (tests) can reproduce spec trials
+// exactly.
+func PatternSeed(trialSeed uint64) uint64 {
+	return rng.Derive(trialSeed, patternStream)
+}
+
+// cellPoint is one enumerated spec cell.
+type cellPoint struct {
+	c    Case
+	gen  adversary.Generator
+	n, k int
+}
+
+// enumerate walks the spec's cross product in the documented order — cases
+// outermost, then patterns, ns, ks — returning the kept cells, their labels,
+// and a description of every dropped combination (k > n, or k beyond a
+// case's feasible regime).
+func (s Spec) enumerate() (points []cellPoint, labels [][]string, skipped []string) {
+	for _, c := range s.Cases {
+		for _, gen := range s.Patterns {
+			for _, n := range s.Ns {
+				for _, k := range s.Ks {
+					if k > n || k < 1 {
+						skipped = append(skipped,
+							fmt.Sprintf("%s×%s n=%d k=%d (k out of [1,n])", c.Name, gen.Name, n, k))
+						continue
+					}
+					if c.MaxK > 0 && k > c.MaxK {
+						skipped = append(skipped,
+							fmt.Sprintf("%s×%s n=%d k=%d (%s caps k at %d)", c.Name, gen.Name, n, k, c.Name, c.MaxK))
+						continue
+					}
+					points = append(points, cellPoint{c, gen, n, k})
+					labels = append(labels, []string{
+						c.Name, gen.Name, strconv.Itoa(n), strconv.Itoa(k),
+					})
+				}
+			}
+		}
+	}
+	return points, labels, skipped
+}
+
+// Skipped returns a human-readable line per dropped cell, so callers can
+// surface grids that are smaller than what the axes requested (no silent
+// truncation at the CLI).
+func (s Spec) Skipped() []string {
+	_, _, skipped := s.enumerate()
+	return skipped
+}
+
+// Grid compiles the spec's cross product into an executable Grid. The cell
+// order — cases outermost, then patterns, ns, ks — is part of the output
+// contract: it fixes both seeds and row order.
+func (s Spec) Grid() (Grid, error) {
+	if len(s.Cases) == 0 {
+		return Grid{}, fmt.Errorf("sweep: spec %q has no algorithm cases", s.Name)
+	}
+	if len(s.Patterns) == 0 {
+		return Grid{}, fmt.Errorf("sweep: spec %q has no patterns", s.Name)
+	}
+	if len(s.Ns) == 0 || len(s.Ks) == 0 {
+		return Grid{}, fmt.Errorf("sweep: spec %q has empty n or k axis", s.Name)
+	}
+
+	points, labels, _ := s.enumerate()
+	if len(points) == 0 {
+		return Grid{}, fmt.Errorf("sweep: spec %q produced no cells (all k > n?)", s.Name)
+	}
+
+	return Grid{
+		Name:    s.Name,
+		Axes:    []string{"algo", "pattern", "n", "k"},
+		Cells:   labels,
+		Trials:  s.Trials,
+		Seed:    s.Seed,
+		Workers: s.Workers,
+		Run: func(cell, trial int, seed uint64) Sample {
+			pt := points[cell]
+			p := pt.c.Params(pt.n, pt.k, seed)
+			w := pt.gen.Generate(pt.n, pt.k, PatternSeed(seed))
+			horizon := pt.c.Horizon(pt.n, pt.k)
+			res, _, err := sim.Run(pt.c.Algo(pt.n, pt.k), p, w, sim.Options{Horizon: horizon, Seed: seed})
+			if err != nil {
+				// A knowledge-inconsistent (case, pattern) pairing is a spec
+				// bug; surface it loudly rather than skewing aggregates.
+				panic(fmt.Sprintf("sweep: %s × %s rejected input: %v", pt.c.Name, pt.gen.Name, err))
+			}
+			if !res.Succeeded {
+				res.Rounds = horizon
+			}
+			return Sample{
+				OK:            res.Succeeded,
+				Rounds:        res.Rounds,
+				Collisions:    res.Collisions,
+				Silences:      res.Silences,
+				Transmissions: res.Transmissions,
+				Winner:        res.Winner,
+				SuccessSlot:   res.SuccessSlot,
+			}
+		},
+	}, nil
+}
+
+// Execute compiles and runs the spec.
+func (s Spec) Execute() (*Result, error) {
+	g, err := s.Grid()
+	if err != nil {
+		return nil, err
+	}
+	return g.Execute()
+}
+
+// StandardCases returns the registry of named algorithm cases the cmd/ tools
+// expose, in canonical order.
+func StandardCases() []Case {
+	scenC := func(n, k int, seed uint64) model.Params {
+		return model.Params{N: n, S: -1, Seed: seed}
+	}
+	scenB := func(n, k int, seed uint64) model.Params {
+		return model.Params{N: n, K: k, S: -1, Seed: seed}
+	}
+	scenA := func(n, k int, seed uint64) model.Params {
+		return model.Params{N: n, S: 0, Seed: seed}
+	}
+	return []Case{
+		{
+			Name: "roundrobin",
+			Algo: func(n, k int) model.Algorithm { return core.NewRoundRobin() },
+			Params: scenC,
+			Horizon: func(n, k int) int64 { return core.NewRoundRobin().Horizon(n, k) },
+		},
+		{
+			Name: "wakeup_with_s",
+			Algo: func(n, k int) model.Algorithm { return core.NewWakeupWithS() },
+			Params: scenA,
+			Horizon: core.WakeupWithSHorizon,
+		},
+		{
+			Name: "wakeup_with_k",
+			Algo: func(n, k int) model.Algorithm { return core.NewWakeupWithK() },
+			Params: scenB,
+			Horizon: core.WakeupWithKHorizon,
+		},
+		{
+			Name: "wakeupc",
+			Algo: func(n, k int) model.Algorithm { return core.NewWakeupC() },
+			Params: scenC,
+			Horizon: func(n, k int) int64 { return core.NewWakeupC().Horizon(n, k) },
+		},
+		{
+			Name: "rpd",
+			Algo: func(n, k int) model.Algorithm { return core.NewRPD() },
+			Params: scenC,
+			Horizon: func(n, k int) int64 { return core.NewRPD().Horizon(n, k) },
+		},
+		{
+			Name: "rpdk",
+			Algo: func(n, k int) model.Algorithm { return core.NewRPDWithK() },
+			Params: scenB,
+			Horizon: func(n, k int) int64 { return core.NewRPDWithK().Horizon(n, k) },
+		},
+		{
+			Name: "beb",
+			Algo: func(n, k int) model.Algorithm { return core.NewBEB() },
+			Params: scenC,
+			Horizon: func(n, k int) int64 { return core.NewBEB().Horizon(n, k) },
+		},
+		{
+			Name: "localssf",
+			Algo: func(n, k int) model.Algorithm { return core.NewLocalSSF() },
+			Params: scenB,
+			Horizon: func(n, k int) int64 { return core.NewLocalSSF().Horizon(n, k) },
+			MaxK: 64,
+		},
+	}
+}
+
+// CasesByName resolves a comma-separated algorithm list ("all" or empty
+// selects the full registry) against StandardCases.
+func CasesByName(list string) ([]Case, error) {
+	all := StandardCases()
+	if list == "" || list == "all" {
+		return all, nil
+	}
+	byName := make(map[string]Case, len(all))
+	for _, c := range all {
+		byName[c.Name] = c
+	}
+	var out []Case
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		c, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("sweep: unknown algorithm %q (have %s)", name, caseNames(all))
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}
+
+func caseNames(cs []Case) string {
+	names := make([]string, len(cs))
+	for i, c := range cs {
+		names[i] = c.Name
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParsePatterns resolves a comma-separated pattern list with the default
+// shape parameters: start slot 0, gap 7, window width 64. See
+// ParsePatternsAt.
+func ParsePatterns(list string) ([]adversary.Generator, error) {
+	return ParsePatternsAt(list, 0, 7, 64)
+}
+
+// ParsePatternsAt resolves a comma-separated pattern list against explicit
+// shape parameters: every family starts at slot s; staggered/bursts use gap
+// and uniform uses width unless an entry overrides its parameter with :arg
+// — "simultaneous", "staggered:7", "uniform:64", "bursts:17". Empty or
+// "suite" selects the standard adversary suite. It is the single pattern
+// registry behind both cmd/ tools; new families belong here.
+func ParsePatternsAt(list string, s, gap, width int64) ([]adversary.Generator, error) {
+	if list == "" || list == "suite" {
+		return adversary.Suite(), nil
+	}
+	var out []adversary.Generator
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		name, argStr, hasArg := strings.Cut(entry, ":")
+		arg := int64(-1)
+		if hasArg {
+			v, err := strconv.ParseInt(argStr, 10, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("sweep: bad pattern argument %q in %q", argStr, entry)
+			}
+			arg = v
+		}
+		pick := func(def int64) int64 {
+			if arg >= 0 {
+				return arg
+			}
+			return def
+		}
+		switch name {
+		case "simultaneous":
+			out = append(out, adversary.Simultaneous(s))
+		case "staggered":
+			out = append(out, adversary.Staggered(s, pick(gap)))
+		case "uniform":
+			out = append(out, adversary.UniformWindow(s, pick(width)))
+		case "bursts":
+			out = append(out, adversary.Bursts(s, 4, pick(gap)))
+		default:
+			return nil, fmt.Errorf("sweep: unknown pattern %q (have simultaneous, staggered[:gap], uniform[:width], bursts[:gap], suite)", name)
+		}
+	}
+	return out, nil
+}
+
+// ParseInts parses a comma-separated positive integer axis ("256,1024").
+func ParseInts(list string) ([]int, error) {
+	var out []int
+	for _, entry := range strings.Split(list, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		v, err := strconv.Atoi(entry)
+		if err != nil || v < 1 {
+			return nil, fmt.Errorf("sweep: bad axis value %q", entry)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sweep: empty axis %q", list)
+	}
+	return out, nil
+}

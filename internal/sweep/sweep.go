@@ -1,0 +1,188 @@
+// Package sweep is the repository's grid orchestrator: it takes a declarative
+// spec of experiment cells (algorithm × wake-pattern family × n × k × trials),
+// shards the cells over a bounded goroutine worker pool, runs every trial with
+// a per-(cell, trial) RNG stream derived via rng.Derive, and streams the
+// outcomes into mergeable stats.Aggregate values, which render as aligned
+// text, CSV, or JSON.
+//
+// The package's hard guarantee is reproducibility: a grid's output is
+// byte-identical for a given seed whether it runs with one worker or
+// GOMAXPROCS. Two design rules enforce it. First, every trial's seed is a
+// pure function of (grid seed, cell index, trial index), never of scheduling
+// order. Second, every sample lands at its (cell, trial) index, and
+// aggregation and rendering walk cells and trials in declaration order after
+// the pool drains — so the worker pool only decides *when* a trial runs,
+// never what it computes or where its result goes.
+//
+// Two layers are exposed. Grid is the low-level unit: an explicit cell list
+// plus a trial function, for drivers with bespoke per-cell logic (adversary
+// searches, conflict-resolution runs, ablations). Spec is the declarative
+// layer used by the experiment tables and the cmd/ tools: it enumerates
+// algorithm cases × pattern generators × {n, k} axes, compiles to a Grid, and
+// runs each cell through sim.Run.
+package sweep
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"nsmac/internal/rng"
+	"nsmac/internal/stats"
+)
+
+// Sample is one trial's outcome inside a cell.
+type Sample struct {
+	// OK reports whether the trial resolved before its horizon.
+	OK bool
+	// Rounds is the trial's cost measure (the paper's t − s, or the horizon
+	// on failure).
+	Rounds int64
+	// Collisions, Silences and Transmissions are the run's waste and energy
+	// counters (ground truth).
+	Collisions    int64
+	Silences      int64
+	Transmissions int64
+	// Winner is the station that transmitted alone (0 if none).
+	Winner int
+	// SuccessSlot is the global slot of the first success (-1 if none).
+	SuccessSlot int64
+	// Aux carries one driver-defined extra metric (e.g. spoiled successes,
+	// full-enumeration slots). Zero when unused.
+	Aux int64
+}
+
+// TrialFunc runs trial `trial` of cell `cell` with its derived seed and
+// returns the outcome. Implementations must be deterministic in their
+// arguments and safe for concurrent invocation: the pool shards individual
+// (cell, trial) work items, so two trials of the same cell may run at once.
+type TrialFunc func(cell, trial int, seed uint64) Sample
+
+// Grid is the low-level sweep unit: an explicit list of cells, each run for
+// Trials trials by Run.
+type Grid struct {
+	// Name labels the grid in rendered output.
+	Name string
+	// Axes names the coordinate columns, aligned with each cell's labels.
+	Axes []string
+	// Cells holds one label tuple per cell (len(Cells[i]) == len(Axes)).
+	Cells [][]string
+	// Trials is the per-cell trial count (>= 1).
+	Trials int
+	// Seed keys every derived stream; identical seeds reproduce the grid
+	// byte-for-byte at any worker count.
+	Seed uint64
+	// Workers bounds the goroutine pool (<= 0 selects GOMAXPROCS).
+	Workers int
+	// Run executes one trial.
+	Run TrialFunc
+}
+
+// CellResult pairs a cell's coordinates with its trial outcomes.
+type CellResult struct {
+	// Cell is the label tuple, aligned with Result.Axes.
+	Cell []string
+	// Samples holds the per-trial outcomes in trial order.
+	Samples []Sample
+	// Agg is the cell's streamed aggregate (rounds distribution, waste and
+	// energy counters, success rate).
+	Agg stats.Aggregate
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Name  string
+	Axes  []string
+	Cells []CellResult
+}
+
+// CellSeed returns the derived RNG stream key for a cell, from which each
+// trial derives its own stream. Exposed so reference implementations (tests)
+// can reproduce the orchestrator's seeding exactly.
+func CellSeed(gridSeed uint64, cell int) uint64 {
+	return rng.Derive(gridSeed, uint64(cell))
+}
+
+// TrialSeed returns the derived seed for one (cell, trial) pair.
+func TrialSeed(gridSeed uint64, cell, trial int) uint64 {
+	return rng.Derive(CellSeed(gridSeed, cell), uint64(trial))
+}
+
+// Validate checks the grid is runnable.
+func (g Grid) Validate() error {
+	if g.Run == nil {
+		return errors.New("sweep: nil trial function")
+	}
+	if g.Trials < 1 {
+		return fmt.Errorf("sweep: %d trials, want >= 1", g.Trials)
+	}
+	for i, c := range g.Cells {
+		if len(c) != len(g.Axes) {
+			return fmt.Errorf("sweep: cell %d has %d labels for %d axes", i, len(c), len(g.Axes))
+		}
+	}
+	return nil
+}
+
+// Execute runs the grid: individual (cell, trial) work items are sharded
+// over the worker pool, each with a seed derived from (Seed, cell, trial).
+// Every sample lands at its (cell, trial) index and aggregation walks cells
+// and trials in declaration order after the pool drains, so the schedule
+// never influences the result.
+func (g Grid) Execute() (*Result, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{Name: g.Name, Axes: g.Axes, Cells: make([]CellResult, len(g.Cells))}
+	for ci, labels := range g.Cells {
+		res.Cells[ci] = CellResult{Cell: labels, Samples: make([]Sample, g.Trials)}
+	}
+	items := len(g.Cells) * g.Trials
+	if items == 0 {
+		return res, nil
+	}
+
+	workers := g.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > items {
+		workers = items
+	}
+
+	next := make(chan int, items)
+	for i := 0; i < items; i++ {
+		next <- i
+	}
+	close(next)
+
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for item := range next {
+				ci, trial := item/g.Trials, item%g.Trials
+				res.Cells[ci].Samples[trial] = g.Run(ci, trial, TrialSeed(g.Seed, ci, trial))
+			}
+		}()
+	}
+	wg.Wait()
+
+	for ci := range res.Cells {
+		for _, s := range res.Cells[ci].Samples {
+			res.Cells[ci].Agg.AddTrial(float64(s.Rounds), s.OK, s.Collisions, s.Silences, s.Transmissions)
+		}
+	}
+	return res, nil
+}
+
+// Totals merges every cell aggregate in declaration order.
+func (r *Result) Totals() stats.Aggregate {
+	var total stats.Aggregate
+	for _, c := range r.Cells {
+		total.Merge(c.Agg)
+	}
+	return total
+}
