@@ -31,11 +31,12 @@ func main() {
 		seed     = flag.Uint64("seed", 20130527, "experiment seed (default: IPDPS 2013 conference date)")
 		only     = flag.String("only", "", "comma-separated experiment IDs (default: all)")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		batch    = flag.Int("batch", 0, "trials per work item (0 = auto); tunes scheduling overhead, never output")
 		format   = flag.String("format", "text", "output format: text | csv | json")
 		algos    = flag.String("algos", "", "custom grid: comma-separated algorithms (or \"all\"); selecting this skips the experiment tables")
 		ns       = flag.String("ns", "256,1024", "custom grid: universe sizes")
 		ks       = flag.String("ks", "1,4,16,64", "custom grid: awake-station counts")
-		patterns = flag.String("patterns", "suite", "custom grid: wake patterns (simultaneous, staggered[:gap], uniform[:width], bursts[:gap], suite)")
+		patterns = flag.String("patterns", "suite", "custom grid: wake patterns (simultaneous, staggered[:gap], uniform[:width], bursts[:gap], spoiler, swap[:1=greedy], suite)")
 	)
 	flag.Parse()
 
@@ -43,11 +44,11 @@ func main() {
 		if *only != "" || *quick {
 			fail("-algos selects a custom grid; it cannot be combined with -only or -quick")
 		}
-		runGrid(*algos, *ns, *ks, *patterns, *trials, *seed, *workers, *format)
+		runGrid(*algos, *ns, *ks, *patterns, *trials, *seed, *workers, *batch, *format)
 		return
 	}
 
-	cfg := experiments.Config{Quick: *quick, Trials: *trials, Seed: *seed, Workers: *workers}
+	cfg := experiments.Config{Quick: *quick, Trials: *trials, Seed: *seed, Workers: *workers, Batch: *batch}
 
 	var selected []experiments.Experiment
 	if *only == "" {
@@ -103,7 +104,7 @@ func main() {
 }
 
 // runGrid executes a custom sweep spec assembled from the axis flags.
-func runGrid(algos, ns, ks, patterns string, trials int, seed uint64, workers int, format string) {
+func runGrid(algos, ns, ks, patterns string, trials int, seed uint64, workers, batch int, format string) {
 	cases, err := sweep.CasesByName(algos)
 	if err != nil {
 		fail("%v", err)
@@ -132,6 +133,7 @@ func runGrid(algos, ns, ks, patterns string, trials int, seed uint64, workers in
 		Trials:   trials,
 		Seed:     seed,
 		Workers:  workers,
+		Batch:    batch,
 	}
 	warnSkipped(spec)
 	res, err := spec.Execute()

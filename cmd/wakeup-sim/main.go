@@ -11,6 +11,7 @@
 //	wakeup-sim -algo wakeup_with_k -n 4096 -k 16 -pattern uniform -trace
 //	wakeup-sim -algo wakeupc -n 256 -k 3 -render
 //	wakeup-sim -algo wakeupc,rpd -n 256,1024 -k 2,8,32 -trials 5 -format csv
+//	wakeup-sim -patterns spoiler,swap            # white-box adversary cells
 package main
 
 import (
@@ -32,18 +33,23 @@ func main() {
 		nList    = flag.String("n", "1024", "universe size(s), comma-separated (station IDs 1..n)")
 		kList    = flag.String("k", "8", "number(s) of stations the adversary wakes, comma-separated")
 		s        = flag.Int64("s", 0, "first wake-up slot")
-		patList  = flag.String("pattern", "simultaneous", "wake pattern(s), comma-separated: simultaneous | staggered | uniform | bursts")
+		patList  = flag.String("pattern", "simultaneous", "wake pattern(s), comma-separated: simultaneous | staggered | uniform | bursts | spoiler | swap")
+		patAlias = flag.String("patterns", "", "alias for -pattern")
 		gap      = flag.Int64("gap", 7, "gap for staggered/bursts patterns")
 		width    = flag.Int64("width", 64, "window width for the uniform pattern")
 		seed     = flag.Uint64("seed", 1, "random seed (schedules and pattern)")
 		horizon  = flag.Int64("horizon", 0, "simulation cap (0 = algorithm's own bound; single-run mode only)")
 		trials   = flag.Int("trials", 1, "trials per grid cell (grid mode when > 1)")
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
+		batch    = flag.Int("batch", 0, "trials per work item (0 = auto); tunes scheduling overhead, never output")
 		format   = flag.String("format", "text", "grid-mode output format: text | csv | json")
 		showTr   = flag.Bool("trace", false, "print the channel transcript timeline (single-run mode)")
 		render   = flag.Bool("render", false, "print the Figure 1/2 matrix renderings (single-run wakeupc only)")
 	)
 	flag.Parse()
+	if *patAlias != "" {
+		*patList = *patAlias
+	}
 
 	ns, err := sweep.ParseInts(*nList)
 	if err != nil {
@@ -58,7 +64,7 @@ func main() {
 
 	gridMode := *trials > 1 || len(ns) > 1 || len(ks) > 1 || len(algos) > 1 || len(pats) > 1
 	if gridMode {
-		runGrid(algos, pats, ns, ks, *trials, *seed, *workers, *format, *s, *gap, *width)
+		runGrid(algos, pats, ns, ks, *trials, *seed, *workers, *batch, *format, *s, *gap, *width)
 		return
 	}
 	runSingle(algos[0], pats[0], ns[0], ks[0], *s, *gap, *width, *seed, *horizon, *showTr, *render)
@@ -66,7 +72,7 @@ func main() {
 
 // runGrid executes the cross product through the sweep orchestrator.
 func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
-	workers int, format string, s, gap, width int64) {
+	workers, batch int, format string, s, gap, width int64) {
 
 	cases, err := sweep.CasesByName(strings.Join(algos, ","))
 	if err != nil {
@@ -93,6 +99,7 @@ func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
 		Trials:   trials,
 		Seed:     seed,
 		Workers:  workers,
+		Batch:    batch,
 	}
 	for _, sk := range spec.Skipped() {
 		fmt.Fprintf(os.Stderr, "wakeup-sim: skipping cell %s\n", sk)
@@ -162,7 +169,9 @@ func runSingle(algoName, pattern string, n, k int, s, gap, width int64,
 		fail("%v", err)
 	}
 	gen := gens[0]
-	w := gen.Generate(n, k, seed)
+	// White-box families (spoiler, swap) build their pattern against the
+	// selected algorithm; black-box families draw from (n, k, seed).
+	w := gen.Pattern(algo, p, k, hor, seed)
 
 	fmt.Printf("algorithm : %s\n", algo.Name())
 	fmt.Printf("universe  : n=%d, k=%d awake\n", n, k)

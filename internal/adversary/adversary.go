@@ -17,11 +17,34 @@ import (
 // Generator names a reproducible wake-pattern family. Generate draws the
 // pattern for a given (n, k, seed); implementations must be deterministic
 // in their arguments.
+//
+// A family is either black-box (Generate set: the pattern depends only on
+// (n, k, seed)) or white-box (VsAlgo set: the pattern is constructed against
+// the concrete algorithm under test, like the Spoiler and Swap adversaries).
+// Exactly one of the two is non-nil; Pattern dispatches.
 type Generator struct {
 	// Name identifies the pattern family in experiment tables.
 	Name string
 	// Generate draws a wake pattern with exactly k distinct stations.
+	// Nil for white-box families.
 	Generate func(n, k int, seed uint64) model.WakePattern
+	// VsAlgo draws a wake pattern against the algorithm under test (with
+	// the knowledge p it will be granted and the horizon it will be given).
+	// The pattern wakes at most k stations — white-box adversaries may
+	// spend less than their budget. Nil for black-box families.
+	VsAlgo func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64) model.WakePattern
+}
+
+// WhiteBox reports whether the family needs the algorithm under test.
+func (g Generator) WhiteBox() bool { return g.VsAlgo != nil }
+
+// Pattern draws the family's pattern for one trial, dispatching between the
+// black-box and white-box constructors.
+func (g Generator) Pattern(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64) model.WakePattern {
+	if g.VsAlgo != nil {
+		return g.VsAlgo(algo, p, k, horizon, seed)
+	}
+	return g.Generate(p.N, k, seed)
 }
 
 // Simultaneous wakes k random stations at slot s.
@@ -112,7 +135,7 @@ func WorstOf(algo model.Algorithm, p model.Params, gens []Generator,
 	var worstPat model.WakePattern
 	for _, g := range gens {
 		for sd := 0; sd < seeds; sd++ {
-			w := g.Generate(p.N, k, rng.Derive(p.Seed, uint64(sd)+uint64(len(g.Name))<<32))
+			w := g.Pattern(algo, p, k, horizon, rng.Derive(p.Seed, uint64(sd)+uint64(len(g.Name))<<32))
 			res, _, err := sim.Run(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed})
 			if err != nil {
 				continue // knowledge-inconsistent generator for these params
@@ -174,7 +197,10 @@ func Swap(algo model.Algorithm, p model.Params, k int, horizon int64, greedy boo
 	}
 
 	current := append([]int(nil), x0...)
-	res := SwapResult{TheoremBound: mathx.BoundLowerMinKN(n, k)}
+	// ForcedRounds starts below any feasible round so the first simulation
+	// always records a witness — without this, an algorithm that resolves
+	// every explored set in round 0 would return an empty witness.
+	res := SwapResult{ForcedRounds: -1, TheoremBound: mathx.BoundLowerMinKN(n, k)}
 	roundsSeen := map[int64]bool{}
 
 	simulate := func(set []int) (int64, int, bool) {

@@ -2,6 +2,7 @@ package adversary
 
 import (
 	"nsmac/internal/model"
+	"nsmac/internal/rng"
 )
 
 // SpoilerResult reports a white-box spoiler attack.
@@ -52,7 +53,14 @@ func SpoilerFrom(algo model.Algorithm, p model.Params, k int, horizon int64, fir
 		id int
 		f  model.TransmitFunc
 	}
-	first := act{id: firstID, f: algo.Build(p, firstID, 0, nil)}
+	// Schedules are predicted with the exact per-station streams the engine
+	// derives when a run is replayed with Options.Seed == p.Seed, so the
+	// white-box lookup stays exact even for randomized algorithms (the
+	// adversary reads the coin flips — the strongest version of the attack).
+	build := func(id int, wake int64) model.TransmitFunc {
+		return algo.Build(p, id, wake, rng.New(rng.Derive(p.Seed, uint64(id))))
+	}
+	first := act{id: firstID, f: build(firstID, 0)}
 	active := []act{first}
 	usedID := make([]bool, n+1)
 	usedID[firstID] = true
@@ -77,7 +85,7 @@ func SpoilerFrom(algo model.Algorithm, p model.Params, k int, horizon int64, fir
 				if usedID[y] {
 					continue
 				}
-				fy := algo.Build(p, y, t, nil)
+				fy := build(y, t)
 				if fy(t) {
 					usedID[y] = true
 					active = append(active, act{id: y, f: fy})

@@ -62,6 +62,17 @@ func New(fm model.FeedbackModel, record bool) *Channel {
 	return &Channel{feedback: fm, record: record}
 }
 
+// Reset reconfigures the channel for a new run, recycling the transcript
+// buffer and zeroing the statistics instead of reallocating. It is the
+// engine-pool hook: a pooled simulation engine calls Reset between trials so
+// a trial costs no channel allocations.
+func (c *Channel) Reset(fm model.FeedbackModel, record bool) {
+	c.feedback = fm
+	c.record = record
+	c.trace = c.trace[:0]
+	c.slots, c.successes, c.collisions, c.silences = 0, 0, 0, 0
+}
+
 // FeedbackModel returns the configured feedback regime.
 func (c *Channel) FeedbackModel() model.FeedbackModel { return c.feedback }
 
@@ -97,7 +108,8 @@ func (c *Channel) Observed(truth model.Feedback) model.Feedback {
 	return c.feedback.Observe(truth)
 }
 
-// Trace returns the recorded transcript (nil unless recording was enabled).
+// Trace returns the recorded transcript (empty unless recording was
+// enabled; nil if recording was never enabled on this channel).
 func (c *Channel) Trace() []Event { return c.trace }
 
 // Slots returns the number of resolved slots.

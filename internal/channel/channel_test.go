@@ -92,6 +92,72 @@ func TestTraceBounded(t *testing.T) {
 	}
 }
 
+func TestTraceTruncationBoundary(t *testing.T) {
+	// Fill the transcript exactly to the cap, then push events of every
+	// outcome past it: the trace must keep the first maxTrace events (last
+	// kept slot is maxTrace-1) while every statistics counter keeps counting.
+	c := New(model.NoCollisionDetection, true)
+	for i := int64(0); i < maxTrace; i++ {
+		c.Resolve(i, nil)
+	}
+	if got := len(c.Trace()); got != maxTrace {
+		t.Fatalf("trace holds %d events at the cap, want %d", got, maxTrace)
+	}
+	c.Resolve(maxTrace, []int{7})      // success, beyond the cap
+	c.Resolve(maxTrace+1, []int{1, 2}) // collision, beyond the cap
+	c.Resolve(maxTrace+2, nil)         // silence, beyond the cap
+	tr := c.Trace()
+	if len(tr) != maxTrace {
+		t.Errorf("trace grew past the cap: %d events", len(tr))
+	}
+	if last := tr[len(tr)-1]; last.Slot != maxTrace-1 {
+		t.Errorf("last kept event is slot %d, want %d", last.Slot, int64(maxTrace-1))
+	}
+	if c.Slots() != maxTrace+3 || c.Successes() != 1 || c.Collisions() != 1 || c.Silences() != maxTrace+1 {
+		t.Errorf("stats stopped at the trace cap: slots=%d succ=%d coll=%d sil=%d",
+			c.Slots(), c.Successes(), c.Collisions(), c.Silences())
+	}
+}
+
+func TestResetRecyclesChannel(t *testing.T) {
+	c := New(model.NoCollisionDetection, true)
+	c.Resolve(0, []int{1, 2})
+	c.Resolve(1, []int{5})
+	c.Resolve(2, nil)
+	if c.Slots() != 3 || len(c.Trace()) != 3 {
+		t.Fatalf("setup run wrong: slots=%d trace=%d", c.Slots(), len(c.Trace()))
+	}
+
+	c.Reset(model.CollisionDetection, true)
+	if c.Slots() != 0 || c.Successes() != 0 || c.Collisions() != 0 || c.Silences() != 0 {
+		t.Errorf("Reset left counters: slots=%d succ=%d coll=%d sil=%d",
+			c.Slots(), c.Successes(), c.Collisions(), c.Silences())
+	}
+	if len(c.Trace()) != 0 {
+		t.Errorf("Reset left %d trace events", len(c.Trace()))
+	}
+	if c.FeedbackModel() != model.CollisionDetection {
+		t.Error("Reset did not switch the feedback model")
+	}
+	if c.Observed(model.Collision) != model.Collision {
+		t.Error("feedback model not live after Reset")
+	}
+
+	// The recycled channel behaves like a fresh one.
+	truth, winner := c.Resolve(0, []int{9})
+	if truth != model.Success || winner != 9 || c.Slots() != 1 || len(c.Trace()) != 1 {
+		t.Errorf("recycled channel misbehaves: truth=%v winner=%d slots=%d trace=%d",
+			truth, winner, c.Slots(), len(c.Trace()))
+	}
+
+	// Reset with recording off: no new events are kept.
+	c.Reset(model.NoCollisionDetection, false)
+	c.Resolve(0, []int{1})
+	if len(c.Trace()) != 0 {
+		t.Error("non-recording channel kept events after Reset")
+	}
+}
+
 func TestEventString(t *testing.T) {
 	cases := []struct {
 		ev   Event

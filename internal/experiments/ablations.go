@@ -7,6 +7,7 @@ import (
 	"nsmac/internal/core"
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
+	"nsmac/internal/sim"
 	"nsmac/internal/sweep"
 )
 
@@ -70,6 +71,7 @@ func T8Ablations(cfg Config) *Table {
 		Trials:  1,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
+		Batch:   cfg.Batch,
 		Run: func(ci, _ int, _ uint64) sweep.Sample {
 			c := spoilCells[ci]
 			r := adversary.Spoiler(c.mk(), c.p, k, c.horizon)
@@ -104,12 +106,13 @@ func T8Ablations(cfg Config) *Table {
 		Trials:  trialsC,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
-		Run: func(ci, trial int, _ uint64) sweep.Sample {
+		Batch:   cfg.Batch,
+		RunEngine: func(e *sim.Engine, ci, trial int, _ uint64) sweep.Sample {
 			a := &core.WakeupC{C: cValues[ci]}
 			seed := rng.Derive(seedBase, 0xc0+uint64(trial))
 			p := model.Params{N: n, S: -1, Seed: seed}
 			w := model.Simultaneous(rng.New(seed).Sample(n, kBig), 0)
-			m := runOnce(a, p, w, a.Horizon(n, kBig))
+			m := runOnce(e, a, p, w, a.Horizon(n, kBig))
 			return sweep.Sample{OK: m.ok, Rounds: m.rounds}
 		},
 	}.Execute()

@@ -75,14 +75,15 @@ func T6Comparison(cfg Config) *Table {
 				Trials:  rpdTrials,
 				Seed:    seed,
 				Workers: cfg.Workers,
-				Run: func(_, i int, _ uint64) sweep.Sample {
+				Batch:   cfg.Batch,
+				RunEngine: func(e *sim.Engine, _, i int, _ uint64) sweep.Sample {
 					tSeed := rng.Derive(seed, tag+uint64(i))
 					w := model.Simultaneous(rng.New(tSeed).Sample(n, k), 0)
-					r, _, err := sim.Run(algo, model.Params{N: n, S: -1, Seed: tSeed}, w,
-						sim.Options{Horizon: horizon, Seed: tSeed})
-					if err != nil {
+					if err := e.Reset(algo, model.Params{N: n, S: -1, Seed: tSeed}, w,
+						sim.Options{Horizon: horizon, Seed: tSeed}); err != nil {
 						panic(err)
 					}
+					r := e.Run()
 					if !r.Succeeded {
 						r.Rounds = horizon
 					}

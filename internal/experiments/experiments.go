@@ -32,6 +32,9 @@ type Config struct {
 	Seed uint64
 	// Workers caps the parallel trial runner (0 = GOMAXPROCS).
 	Workers int
+	// Batch caps trials per sweep work item (0 = auto); like Workers it
+	// tunes scheduling only and never changes a table's bytes.
+	Batch int
 }
 
 // trials resolves the per-cell trial count.
@@ -227,13 +230,15 @@ type measured struct {
 	ok     bool
 }
 
-// runOnce executes a single simulation, mapping failure to horizon rounds.
-func runOnce(algo model.Algorithm, p model.Params, w model.WakePattern, horizon int64) measured {
-	res, _, err := sim.Run(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed})
-	if err != nil {
+// runOnce executes a single simulation on the given pooled engine, mapping
+// failure to horizon rounds. Drivers running inside a sweep pass the
+// worker's engine; one-shot callers pass a fresh sim.NewEngine().
+func runOnce(e *sim.Engine, algo model.Algorithm, p model.Params, w model.WakePattern, horizon int64) measured {
+	if err := e.Reset(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed}); err != nil {
 		// Knowledge-inconsistent input is a driver bug; surface loudly.
 		panic(fmt.Sprintf("experiments: %s rejected input: %v", algo.Name(), err))
 	}
+	res := e.Run()
 	if !res.Succeeded {
 		return measured{rounds: horizon, ok: false}
 	}
@@ -259,8 +264,9 @@ func sweepPatterns(cfg Config, algo model.Algorithm, p model.Params,
 		Trials:  1,
 		Seed:    p.Seed,
 		Workers: cfg.Workers,
-		Run: func(cell, _ int, _ uint64) sweep.Sample {
-			m := runOnce(algo, p, pats[cell], horizon)
+		Batch:   cfg.Batch,
+		RunEngine: func(e *sim.Engine, cell, _ int, _ uint64) sweep.Sample {
+			m := runOnce(e, algo, p, pats[cell], horizon)
 			return sweep.Sample{OK: m.ok, Rounds: m.rounds}
 		},
 	}.Execute()

@@ -50,6 +50,7 @@ func T9ConflictResolution(cfg Config) *Table {
 		Trials:  trials,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
+		Batch:   cfg.Batch,
 		Run: func(ci, trial int, _ uint64) sweep.Sample {
 			c := cells[ci]
 			seed := cfg.seed(uint64(c.n)<<16 | uint64(c.k))
@@ -133,20 +134,21 @@ func T10TreeCD(cfg Config) *Table {
 		Trials:  trials,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
-		Run: func(ci, trial int, _ uint64) sweep.Sample {
+		Batch:   cfg.Batch,
+		RunEngine: func(e *sim.Engine, ci, trial int, _ uint64) sweep.Sample {
 			k := ks[ci]
 			seed := cfg.seed(uint64(k) << 4)
 			p := model.Params{N: n, S: -1, Seed: seed}
 			ids := rng.New(rng.Derive(seed, uint64(trial))).Sample(n, k)
 			w := model.Simultaneous(ids, 0)
 
-			r, _, err := sim.Run(a, p, w, sim.Options{
+			if err := e.Reset(a, p, w, sim.Options{
 				Horizon: a.Horizon(n, k), Adaptive: true,
 				Feedback: model.CollisionDetection, Seed: seed,
-			})
-			if err != nil {
+			}); err != nil {
 				panic(err)
 			}
+			r := e.Run()
 			first := r.Rounds
 			if !r.Succeeded {
 				first = a.Horizon(n, k)

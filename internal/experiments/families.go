@@ -55,6 +55,7 @@ func T7FamilySizes(cfg Config) *Table {
 		Trials:  1,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
+		Batch:   cfg.Batch,
 		Run: func(ci, _ int, _ uint64) sweep.Sample {
 			c := cells[ci]
 			var length int64

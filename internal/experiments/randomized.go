@@ -46,15 +46,16 @@ func T5RPD(cfg Config) *Table {
 				Trials:  trials,
 				Seed:    seed,
 				Workers: cfg.Workers,
-				Run: func(_, i int, _ uint64) sweep.Sample {
+				Batch:   cfg.Batch,
+				RunEngine: func(e *sim.Engine, _, i int, _ uint64) sweep.Sample {
 					tSeed := rng.Derive(seed, uint64(i))
 					pp := p
 					pp.Seed = tSeed
 					w := model.Simultaneous(rng.New(rng.Derive(tSeed, 1)).Sample(n, k), 0)
-					r, _, err := sim.Run(algo, pp, w, sim.Options{Horizon: horizon, Seed: tSeed})
-					if err != nil {
+					if err := e.Reset(algo, pp, w, sim.Options{Horizon: horizon, Seed: tSeed}); err != nil {
 						panic(err)
 					}
+					r := e.Run()
 					if !r.Succeeded {
 						r.Rounds = horizon
 					}

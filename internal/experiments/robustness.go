@@ -42,14 +42,15 @@ func T11SeedRobustness(cfg Config) *Table {
 			Trials:  seeds,
 			Seed:    cfg.Seed,
 			Workers: cfg.Workers,
-			Run: func(_, i int, _ uint64) sweep.Sample {
+			Batch:   cfg.Batch,
+			RunEngine: func(e *sim.Engine, _, i int, _ uint64) sweep.Sample {
 				seed := rng.Derive(cfg.seed(0x11), uint64(i))
 				p := mkParams(seed)
 				w := gen.Generate(n, k, rng.Derive(seed, 5))
-				r, _, err := sim.Run(mkAlgo(), p, w, sim.Options{Horizon: horizon, Seed: seed})
-				if err != nil {
+				if err := e.Reset(mkAlgo(), p, w, sim.Options{Horizon: horizon, Seed: seed}); err != nil {
 					panic(err)
 				}
+				r := e.Run()
 				return sweep.Sample{OK: r.Succeeded, Rounds: r.Rounds,
 					Collisions: r.Collisions, Silences: r.Silences,
 					Transmissions: r.Transmissions}

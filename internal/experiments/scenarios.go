@@ -8,6 +8,7 @@ import (
 	"nsmac/internal/mathx"
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
+	"nsmac/internal/sim"
 	"nsmac/internal/stats"
 	"nsmac/internal/sweep"
 )
@@ -55,6 +56,7 @@ func T1LowerBound(cfg Config) *Table {
 		Trials:  1,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
+		Batch:   cfg.Batch,
 		Run: func(ci, _ int, _ uint64) sweep.Sample {
 			c := cells[ci]
 			var forced int64
@@ -165,9 +167,10 @@ func scenarioSweep(cfg Config, t *Table, n int, ks []int,
 		Trials:  1,
 		Seed:    cfg.Seed,
 		Workers: cfg.Workers,
-		Run: func(ci, _ int, _ uint64) sweep.Sample {
+		Batch:   cfg.Batch,
+		RunEngine: func(e *sim.Engine, ci, _ int, _ uint64) sweep.Sample {
 			c := cells[ci]
-			m := runOnce(c.algo, c.p, c.pat, c.horizon)
+			m := runOnce(e, c.algo, c.p, c.pat, c.horizon)
 			return sweep.Sample{OK: m.ok, Rounds: m.rounds}
 		},
 	}.Execute()

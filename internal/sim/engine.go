@@ -1,0 +1,225 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"nsmac/internal/channel"
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+)
+
+// Engine is a reusable simulation engine. Reset prepares it for a trial
+// (reusing the station table, the transmit buffers and the channel from the
+// previous trial) and Step/RunTo/Run advance it, so a trial on a warm engine
+// costs only the per-station schedule closures the algorithm itself builds.
+//
+// The zero value is not usable; construct with NewEngine. An engine is not
+// safe for concurrent use — pool one per worker (internal/sweep does).
+// Behaviour is identical to Run for the same inputs: the per-station RNG
+// streams derive from (Options.Seed, station ID) exactly as before, so a
+// reused engine reproduces a fresh one byte for byte.
+type Engine struct {
+	ch *channel.Channel
+
+	algo         model.Algorithm
+	adaptiveAlgo model.Adaptive
+	useAdaptive  bool
+	p            model.Params
+	opt          Options
+
+	stations     []station  // wake-ordered station table, reused across trials
+	active       []*station // activated stations, pointers into the table
+	transmitters []int      // per-slot transmit buffer (IDs)
+
+	s      int64 // first wake slot
+	t      int64 // next slot to execute
+	next   int   // next station (by wake order) not yet activated
+	result model.Result
+	done   bool
+}
+
+// NewEngine returns an engine ready for its first Reset.
+func NewEngine() *Engine {
+	return &Engine{ch: channel.New(model.NoCollisionDetection, false)}
+}
+
+// Reset validates the inputs and prepares the engine for a new trial. The
+// validation and error messages are exactly Run's: Run is a thin wrapper
+// over a fresh engine.
+func (e *Engine) Reset(algo model.Algorithm, p model.Params, w model.WakePattern, opt Options) error {
+	if algo == nil {
+		return errors.New("sim: nil algorithm")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := w.Validate(p.N); err != nil {
+		return err
+	}
+	if opt.Horizon <= 0 {
+		return fmt.Errorf("sim: horizon %d, want > 0", opt.Horizon)
+	}
+	if p.KnowsK() && w.K() > p.K {
+		return fmt.Errorf("sim: pattern wakes %d stations but K=%d", w.K(), p.K)
+	}
+	if p.KnowsS() && w.FirstWake() != p.S {
+		return fmt.Errorf("sim: pattern starts at %d but algorithm was told S=%d", w.FirstWake(), p.S)
+	}
+
+	e.algo, e.p, e.opt = algo, p, opt
+	e.adaptiveAlgo, _ = algo.(model.Adaptive)
+	e.useAdaptive = opt.Adaptive && e.adaptiveAlgo != nil
+	e.ch.Reset(opt.Feedback, opt.RecordTrace)
+
+	// Rebuild the station table in wake order (ties by ID — the same total
+	// order as model.WakePattern.Sorted) inside the reused backing array.
+	k := w.K()
+	if cap(e.stations) < k {
+		e.stations = make([]station, k)
+	}
+	e.stations = e.stations[:k]
+	for i := range e.stations {
+		e.stations[i] = station{id: w.IDs[i], wake: w.Wakes[i]}
+	}
+	sort.Slice(e.stations, func(a, b int) bool {
+		if e.stations[a].wake != e.stations[b].wake {
+			return e.stations[a].wake < e.stations[b].wake
+		}
+		return e.stations[a].id < e.stations[b].id
+	})
+
+	if cap(e.active) < k {
+		e.active = make([]*station, 0, k)
+	}
+	e.active = e.active[:0]
+	if cap(e.transmitters) < k {
+		e.transmitters = make([]int, 0, k)
+	}
+	e.transmitters = e.transmitters[:0]
+
+	e.s = e.stations[0].wake
+	e.t = e.s
+	e.next = 0
+	e.result = model.Result{SuccessSlot: -1, Rounds: -1}
+	e.done = false
+	return nil
+}
+
+// Channel exposes the engine's channel (for transcript inspection). The
+// channel is recycled by the next Reset; callers that need the transcript
+// must read it before then.
+func (e *Engine) Channel() *channel.Channel { return e.ch }
+
+// Result returns the run result accumulated so far; it is final once the
+// engine reports done.
+func (e *Engine) Result() model.Result { return e.result }
+
+// Done reports whether the current trial has ended (success or horizon).
+func (e *Engine) Done() bool { return e.done }
+
+// Slot returns the next global slot the engine will execute.
+func (e *Engine) Slot() int64 { return e.t }
+
+// Step executes one slot. It returns true once the trial has ended — at the
+// first solo transmission, or when the horizon is exhausted.
+func (e *Engine) Step() bool { return e.step(nil) }
+
+// RunTo steps until global slot until (exclusive) or until the trial ends,
+// whichever comes first, and reports whether the trial has ended.
+func (e *Engine) RunTo(until int64) bool {
+	for !e.done && e.t < until {
+		if e.step(nil) {
+			break
+		}
+	}
+	return e.done
+}
+
+// Run steps the trial to completion and returns the result.
+func (e *Engine) Run() model.Result { return e.run(nil) }
+
+// run is the core loop. onSuccess, when non-nil, is called for every
+// successful slot and returns true to keep running (RunAll's hook).
+func (e *Engine) run(onSuccess func(slot int64, winner int) bool) model.Result {
+	for !e.step(onSuccess) {
+	}
+	return e.result
+}
+
+// step executes the next slot; it returns true once the trial has ended.
+func (e *Engine) step(onSuccess func(slot int64, winner int) bool) bool {
+	if e.done {
+		return true
+	}
+	t := e.t
+	if t >= e.s+e.opt.Horizon {
+		e.result.Slots = e.opt.Horizon
+		e.done = true
+		return true
+	}
+
+	// Activate stations whose wake time has arrived.
+	for e.next < len(e.stations) && e.stations[e.next].wake <= t {
+		st := &e.stations[e.next]
+		src := rng.New(rng.Derive(e.opt.Seed, uint64(st.id)))
+		if e.useAdaptive {
+			st.adaptive = e.adaptiveAlgo.BuildAdaptive(e.p, st.id, st.wake, src)
+		} else {
+			st.transmit = e.algo.Build(e.p, st.id, st.wake, src)
+		}
+		e.active = append(e.active, st)
+		e.next++
+	}
+
+	e.transmitters = e.transmitters[:0]
+	for _, st := range e.active {
+		if st.retired {
+			continue
+		}
+		var tx bool
+		if e.useAdaptive {
+			tx = st.adaptive.WillTransmit(t)
+		} else {
+			tx = st.transmit(t)
+		}
+		if tx {
+			e.transmitters = append(e.transmitters, st.id)
+		}
+	}
+
+	truth, winner := e.ch.Resolve(t, e.transmitters)
+	e.result.Transmissions += int64(len(e.transmitters))
+	switch truth {
+	case model.Collision:
+		e.result.Collisions++
+	case model.Silence:
+		e.result.Silences++
+	}
+
+	if e.useAdaptive {
+		observed := e.ch.Observed(truth)
+		obsWinner := 0
+		if observed == model.Success {
+			obsWinner = winner
+		}
+		for _, st := range e.active {
+			if !st.retired {
+				st.adaptive.Observe(t, observed, obsWinner)
+			}
+		}
+	}
+
+	e.t = t + 1
+	if truth == model.Success && (onSuccess == nil || !onSuccess(t, winner)) {
+		e.result.Succeeded = true
+		e.result.Winner = winner
+		e.result.SuccessSlot = t
+		e.result.Rounds = t - e.s
+		e.result.Slots = t - e.s + 1
+		e.done = true
+		return true
+	}
+	return false
+}

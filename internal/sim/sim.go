@@ -5,20 +5,18 @@
 //
 // The engine touches only awake stations, so a slot costs O(active) schedule
 // evaluations regardless of n, and every run is reproducible from
-// (algorithm, params, pattern, seed). A parallel trial runner fans
-// independent simulations out over a goroutine worker pool with derived,
-// non-overlapping random streams.
+// (algorithm, params, pattern, seed). Engine is the reusable core: Reset
+// recycles the station table, transmit buffers and channel between trials,
+// so a warm engine runs a trial with near-zero allocations of its own —
+// internal/sweep pools one engine per worker for exactly this reason. Run
+// and RunAll are thin wrappers over a fresh engine for one-shot callers.
 package sim
 
 import (
-	"errors"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"nsmac/internal/channel"
 	"nsmac/internal/model"
-	"nsmac/internal/rng"
 )
 
 // Options configures one simulation run.
@@ -52,130 +50,15 @@ type station struct {
 // Run simulates until the first solo transmission or until the horizon is
 // exhausted. It returns the run result plus the channel (for transcript
 // inspection); the error reports invalid inputs only — a timed-out run is a
-// Result with Succeeded == false.
+// Result with Succeeded == false. Run constructs a fresh Engine per call;
+// batch callers should pool an Engine and Reset it between trials instead.
 func Run(algo model.Algorithm, p model.Params, w model.WakePattern, opt Options) (model.Result, *channel.Channel, error) {
-	if algo == nil {
-		return model.Result{}, nil, errors.New("sim: nil algorithm")
-	}
-	if err := p.Validate(); err != nil {
+	e := NewEngine()
+	if err := e.Reset(algo, p, w, opt); err != nil {
 		return model.Result{}, nil, err
 	}
-	if err := w.Validate(p.N); err != nil {
-		return model.Result{}, nil, err
-	}
-	if opt.Horizon <= 0 {
-		return model.Result{}, nil, fmt.Errorf("sim: horizon %d, want > 0", opt.Horizon)
-	}
-	if p.KnowsK() && w.K() > p.K {
-		return model.Result{}, nil, fmt.Errorf("sim: pattern wakes %d stations but K=%d", w.K(), p.K)
-	}
-	if p.KnowsS() && w.FirstWake() != p.S {
-		return model.Result{}, nil, fmt.Errorf("sim: pattern starts at %d but algorithm was told S=%d", w.FirstWake(), p.S)
-	}
-
-	ch := channel.New(opt.Feedback, opt.RecordTrace)
-	res := run(algo, p, w, opt, ch, nil)
-	return res, ch, nil
-}
-
-// run is the core loop, shared with RunAll. onSuccess, when non-nil, is
-// called for every successful slot and returns true to keep running.
-func run(algo model.Algorithm, p model.Params, w model.WakePattern, opt Options,
-	ch *channel.Channel, onSuccess func(slot int64, winner int) bool) model.Result {
-
-	sorted := w.Sorted()
-	s := sorted.Wakes[0]
-
-	adaptiveAlgo, adaptiveOK := algo.(model.Adaptive)
-	useAdaptive := opt.Adaptive && adaptiveOK
-
-	stations := make([]*station, sorted.K())
-	for i := range stations {
-		stations[i] = &station{id: sorted.IDs[i], wake: sorted.Wakes[i]}
-	}
-
-	var active []*station
-	next := 0 // next station (by wake order) not yet activated
-
-	result := model.Result{SuccessSlot: -1, Rounds: -1}
-	transmitters := make([]int, 0, sorted.K())
-	txStations := make([]*station, 0, sorted.K())
-
-	for t := s; t < s+opt.Horizon; t++ {
-		// Activate stations whose wake time has arrived.
-		for next < len(stations) && stations[next].wake <= t {
-			st := stations[next]
-			src := rng.New(rng.Derive(opt.Seed, uint64(st.id)))
-			if useAdaptive {
-				st.adaptive = adaptiveAlgo.BuildAdaptive(p, st.id, st.wake, src)
-			} else {
-				st.transmit = algo.Build(p, st.id, st.wake, src)
-			}
-			active = append(active, st)
-			next++
-		}
-
-		transmitters = transmitters[:0]
-		txStations = txStations[:0]
-		for _, st := range active {
-			if st.retired {
-				continue
-			}
-			var tx bool
-			if useAdaptive {
-				tx = st.adaptive.WillTransmit(t)
-			} else {
-				tx = st.transmit(t)
-			}
-			if tx {
-				transmitters = append(transmitters, st.id)
-				txStations = append(txStations, st)
-			}
-		}
-
-		truth, winner := ch.Resolve(t, transmitters)
-		result.Transmissions += int64(len(transmitters))
-		switch truth {
-		case model.Collision:
-			result.Collisions++
-		case model.Silence:
-			result.Silences++
-		}
-
-		if useAdaptive {
-			observed := ch.Observed(truth)
-			obsWinner := 0
-			if observed == model.Success {
-				obsWinner = winner
-			}
-			for _, st := range active {
-				if !st.retired {
-					st.adaptive.Observe(t, observed, obsWinner)
-				}
-			}
-		}
-
-		if truth == model.Success {
-			if onSuccess == nil {
-				result.Succeeded = true
-				result.Winner = winner
-				result.SuccessSlot = t
-				result.Rounds = t - s
-				result.Slots = t - s + 1
-				return result
-			}
-			if !onSuccess(t, winner) {
-				result.Succeeded = true
-				result.Winner = winner
-				result.SuccessSlot = t
-				result.Rounds = t - s
-				result.Slots = t - s + 1
-				return result
-			}
-		}
-	}
-	result.Slots = opt.Horizon
-	return result
+	res := e.Run()
+	return res, e.Channel(), nil
 }
 
 // AllResult reports a conflict-resolution run (every awake station must
@@ -200,22 +83,17 @@ func RunAll(algo model.Algorithm, p model.Params, w model.WakePattern, opt Optio
 	if _, ok := algo.(model.Adaptive); !ok {
 		return AllResult{}, fmt.Errorf("sim: %s is not adaptive; RunAll requires feedback-driven stations", algo.Name())
 	}
-	if err := p.Validate(); err != nil {
-		return AllResult{}, err
-	}
-	if err := w.Validate(p.N); err != nil {
-		return AllResult{}, err
-	}
-	if opt.Horizon <= 0 {
-		return AllResult{}, fmt.Errorf("sim: horizon %d, want > 0", opt.Horizon)
-	}
 	opt.Adaptive = true
+
+	e := NewEngine()
+	if err := e.Reset(algo, p, w, opt); err != nil {
+		return AllResult{}, err
+	}
 
 	all := AllResult{FirstSuccess: make(map[int]int64, w.K())}
 	remaining := w.K()
 	s := w.FirstWake()
-	ch := channel.New(opt.Feedback, opt.RecordTrace)
-	res := run(algo, p, w, opt, ch, func(slot int64, winner int) bool {
+	res := e.run(func(slot int64, winner int) bool {
 		if _, seen := all.FirstSuccess[winner]; !seen {
 			all.FirstSuccess[winner] = slot
 			remaining--
@@ -229,38 +107,4 @@ func RunAll(algo model.Algorithm, p model.Params, w model.WakePattern, opt Optio
 		all.Slots = opt.Horizon
 	}
 	return all, nil
-}
-
-// Parallel runs fn(i) for i in [0, count) across a worker pool and returns
-// the results in order. workers <= 0 selects GOMAXPROCS. fn must be safe
-// for concurrent invocation (the experiment drivers build fully independent
-// simulations per index, keyed by derived seeds).
-func Parallel(count, workers int, fn func(i int) model.Result) []model.Result {
-	if count <= 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > count {
-		workers = count
-	}
-	results := make([]model.Result, count)
-	var wg sync.WaitGroup
-	next := make(chan int, count)
-	for i := 0; i < count; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Add(workers)
-	for wkr := 0; wkr < workers; wkr++ {
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				results[i] = fn(i)
-			}
-		}()
-	}
-	wg.Wait()
-	return results
 }

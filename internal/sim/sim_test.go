@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"sync/atomic"
 	"testing"
 
 	"nsmac/internal/model"
@@ -310,49 +309,149 @@ type silentStation struct{}
 func (silentStation) WillTransmit(int64) bool            { return false }
 func (silentStation) Observe(int64, model.Feedback, int) {}
 
-func TestParallelOrderAndCompleteness(t *testing.T) {
-	var calls int32
-	results := Parallel(100, 7, func(i int) model.Result {
-		atomic.AddInt32(&calls, 1)
-		return model.Result{Rounds: int64(i) * 2}
-	})
-	if calls != 100 || len(results) != 100 {
-		t.Fatalf("calls=%d len=%d", calls, len(results))
+// hashed is a pseudo-random but deterministic schedule (the differential
+// tests' workhorse shape): station id transmits at t iff a seeded hash of
+// (id, t) lands below the density threshold.
+type hashed struct{ density int }
+
+func (h hashed) Name() string { return "hashed" }
+func (h hashed) Build(p model.Params, id int, wake int64, _ *rng.Source) model.TransmitFunc {
+	return func(t int64) bool {
+		if t < wake {
+			return false
+		}
+		return rng.Below(rng.Hash3(p.Seed, uint64(id), uint64(t), 3), h.density)
 	}
-	for i, r := range results {
-		if r.Rounds != int64(i)*2 {
-			t.Fatalf("result %d out of order: %+v", i, r)
+}
+
+// seeded draws its entire schedule decision from the per-station stream the
+// engine hands Build, so any engine-reuse leak of RNG state changes results.
+type seeded struct{}
+
+func (seeded) Name() string { return "seeded" }
+func (seeded) Build(p model.Params, id int, wake int64, src *rng.Source) model.TransmitFunc {
+	offset := int64(src.Intn(8))
+	return func(t int64) bool { return (t-wake)%9 == offset }
+}
+
+// engineWorkloads is a battery of heterogeneous trials (different n, k,
+// wake shapes, algorithms, horizons) used to cross-check engine reuse.
+func engineWorkloads() []struct {
+	algo model.Algorithm
+	p    model.Params
+	w    model.WakePattern
+	opt  Options
+} {
+	return []struct {
+		algo model.Algorithm
+		p    model.Params
+		w    model.WakePattern
+		opt  Options
+	}{
+		{fixedSlot{gap: 2}, model.Params{N: 8, S: -1}, model.Simultaneous([]int{3, 5}, 0), Options{Horizon: 100}},
+		{hashed{density: 2}, model.Params{N: 40, S: -1, Seed: 7}, model.WakePattern{IDs: []int{2, 9, 31, 40}, Wakes: []int64{5, 0, 3, 3}}, Options{Horizon: 200, Seed: 11}},
+		{always{}, model.Params{N: 4, S: -1}, model.Simultaneous([]int{1, 2}, 0), Options{Horizon: 25}},
+		{seeded{}, model.Params{N: 16, S: -1}, model.WakePattern{IDs: []int{4, 12}, Wakes: []int64{3, 14}}, Options{Horizon: 60, Seed: 0xfeed}},
+		{never{}, model.Params{N: 4, S: -1}, model.Simultaneous([]int{1, 2}, 9), Options{Horizon: 12}},
+		{hashed{density: 1}, model.Params{N: 12, S: -1, Seed: 3}, model.Simultaneous([]int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12}, 2), Options{Horizon: 80, Seed: 5, RecordTrace: true}},
+	}
+}
+
+func TestEngineReuseMatchesFreshRun(t *testing.T) {
+	// One engine Reset across wildly different trials must reproduce what a
+	// fresh sim.Run produces for each — including the channel counters —
+	// regardless of what ran on the engine before.
+	e := NewEngine()
+	loads := engineWorkloads()
+	// Two passes: the second pass re-runs every workload on a now-warm
+	// engine whose buffers were stretched by every other workload.
+	for pass := 0; pass < 2; pass++ {
+		for i, l := range loads {
+			want, wantCh, err := Run(l.algo, l.p, l.w, l.opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := e.Reset(l.algo, l.p, l.w, l.opt); err != nil {
+				t.Fatalf("pass %d workload %d: Reset: %v", pass, i, err)
+			}
+			got := e.Run()
+			if got != want {
+				t.Fatalf("pass %d workload %d: engine %+v != fresh %+v", pass, i, got, want)
+			}
+			ch := e.Channel()
+			if ch.Slots() != wantCh.Slots() || ch.Successes() != wantCh.Successes() ||
+				ch.Collisions() != wantCh.Collisions() || ch.Silences() != wantCh.Silences() {
+				t.Fatalf("pass %d workload %d: channel counters diverge", pass, i)
+			}
+			if len(ch.Trace()) != len(wantCh.Trace()) {
+				t.Fatalf("pass %d workload %d: trace %d events, want %d",
+					pass, i, len(ch.Trace()), len(wantCh.Trace()))
+			}
 		}
 	}
 }
 
-func TestParallelEdgeCases(t *testing.T) {
-	if got := Parallel(0, 4, nil); got != nil {
-		t.Error("Parallel(0) should return nil")
+func TestEngineStepAndRunTo(t *testing.T) {
+	l := engineWorkloads()[1]
+	want, _, err := Run(l.algo, l.p, l.w, l.opt)
+	if err != nil {
+		t.Fatal(err)
 	}
-	// workers > count and workers <= 0 both work.
-	r1 := Parallel(3, 100, func(i int) model.Result { return model.Result{Winner: i} })
-	r2 := Parallel(3, 0, func(i int) model.Result { return model.Result{Winner: i} })
-	for i := 0; i < 3; i++ {
-		if r1[i].Winner != i || r2[i].Winner != i {
-			t.Fatal("worker clamping broke results")
+
+	// Step-by-step must land on the same result.
+	e := NewEngine()
+	if err := e.Reset(l.algo, l.p, l.w, l.opt); err != nil {
+		t.Fatal(err)
+	}
+	steps := 0
+	for !e.Step() {
+		steps++
+		if int64(steps) > l.opt.Horizon+1 {
+			t.Fatal("Step never finished")
 		}
+	}
+	if got := e.Result(); got != want {
+		t.Fatalf("stepped result %+v != run result %+v", got, want)
+	}
+	if !e.Done() || !e.Step() {
+		t.Error("a finished engine must stay done")
+	}
+
+	// RunTo pauses mid-run, then resumes to the same result.
+	if err := e.Reset(l.algo, l.p, l.w, l.opt); err != nil {
+		t.Fatal(err)
+	}
+	mid := l.w.FirstWake() + 3
+	if done := e.RunTo(mid); done && want.Slots > 3 {
+		t.Fatalf("RunTo(%d) finished a %d-slot run early", mid, want.Slots)
+	}
+	if e.Slot() != mid {
+		t.Errorf("paused at slot %d, want %d", e.Slot(), mid)
+	}
+	if got := e.Run(); got != want {
+		t.Fatalf("paused+resumed result %+v != %+v", got, want)
 	}
 }
 
-func TestParallelDeterministicWithDerivedSeeds(t *testing.T) {
-	// Two parallel batches with the same derived seeds give identical
-	// results even though scheduling differs.
-	runBatch := func() []model.Result {
-		return Parallel(16, 4, func(i int) model.Result {
-			src := rng.New(rng.Derive(99, uint64(i)))
-			return model.Result{Rounds: int64(src.Intn(1000))}
-		})
+func TestEngineResetValidation(t *testing.T) {
+	// Reset must reject exactly what Run rejects, and a failed Reset must
+	// leave the engine usable for the next valid trial.
+	e := NewEngine()
+	p := model.Params{N: 4, S: -1}
+	w := model.Simultaneous([]int{1}, 0)
+	if err := e.Reset(nil, p, w, Options{Horizon: 5}); err == nil {
+		t.Error("nil algorithm accepted")
 	}
-	a, b := runBatch(), runBatch()
-	for i := range a {
-		if a[i].Rounds != b[i].Rounds {
-			t.Fatalf("parallel batch not deterministic at %d", i)
-		}
+	if err := e.Reset(never{}, p, w, Options{}); err == nil {
+		t.Error("zero horizon accepted")
+	}
+	if err := e.Reset(never{}, p, model.WakePattern{}, Options{Horizon: 5}); err == nil {
+		t.Error("empty pattern accepted")
+	}
+	if err := e.Reset(always{}, p, w, Options{Horizon: 5}); err != nil {
+		t.Fatalf("valid trial rejected after failed resets: %v", err)
+	}
+	if res := e.Run(); !res.Succeeded || res.Winner != 1 {
+		t.Fatalf("engine broken after failed resets: %+v", res)
 	}
 }

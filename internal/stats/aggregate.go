@@ -21,6 +21,17 @@ type Aggregate struct {
 	Transmissions int64
 }
 
+// Reserve pre-sizes the rounds buffer for n upcoming trials, so feeding a
+// known-size cell performs one allocation instead of O(log n) growths.
+func (a *Aggregate) Reserve(n int) {
+	if n <= 0 || cap(a.Rounds)-len(a.Rounds) >= n {
+		return
+	}
+	rounds := make([]float64, len(a.Rounds), len(a.Rounds)+n)
+	copy(rounds, a.Rounds)
+	a.Rounds = rounds
+}
+
 // AddTrial feeds one trial outcome.
 func (a *Aggregate) AddTrial(rounds float64, ok bool, collisions, silences, transmissions int64) {
 	a.Trials++

@@ -55,3 +55,27 @@ func TestAggregateZeroValues(t *testing.T) {
 	}()
 	_ = a.Summary()
 }
+
+func TestAggregateReserve(t *testing.T) {
+	var a Aggregate
+	a.AddTrial(3, true, 0, 0, 0)
+	a.Reserve(10)
+	if len(a.Rounds) != 1 || a.Rounds[0] != 3 {
+		t.Fatalf("Reserve lost samples: %v", a.Rounds)
+	}
+	if cap(a.Rounds) < 11 {
+		t.Fatalf("Reserve(10) left cap %d", cap(a.Rounds))
+	}
+	base := &a.Rounds[0]
+	for i := 0; i < 10; i++ {
+		a.AddTrial(float64(i), true, 0, 0, 0)
+	}
+	if &a.Rounds[0] != base {
+		t.Error("reserved buffer reallocated while filling")
+	}
+	a.Reserve(0)  // no-op
+	a.Reserve(-1) // no-op
+	if a.Trials != 11 || len(a.Rounds) != 11 {
+		t.Errorf("aggregate corrupted: %+v", a)
+	}
+}

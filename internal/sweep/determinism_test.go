@@ -13,8 +13,10 @@ import (
 )
 
 // simGrid builds a hash-schedule simulation grid parameterized by worker
-// count; everything else (cells, seeds, workloads) is fixed.
-func simGrid(workers int, seed uint64) sweep.Grid {
+// count and batch size; everything else (cells, seeds, workloads) is fixed.
+func simGrid(workers int, seed uint64) sweep.Grid { return simGridBatch(workers, 0, seed) }
+
+func simGridBatch(workers, batch int, seed uint64) sweep.Grid {
 	cells := [][]string{{"8", "2"}, {"24", "5"}, {"40", "11"}, {"40", "40"}}
 	return sweep.Grid{
 		Name:    "det",
@@ -23,6 +25,7 @@ func simGrid(workers int, seed uint64) sweep.Grid {
 		Trials:  6,
 		Seed:    seed,
 		Workers: workers,
+		Batch:   batch,
 		Run: func(cell, trial int, s uint64) sweep.Sample {
 			dims := [][2]int{{8, 2}, {24, 5}, {40, 11}, {40, 40}}
 			n, k := dims[cell][0], dims[cell][1]
@@ -50,34 +53,37 @@ func simGrid(workers int, seed uint64) sweep.Grid {
 
 // TestWorkerCountInvariance is the orchestrator's hard guarantee: the same
 // seed produces identical aggregates and byte-identical rendered output at
-// any worker count.
+// any worker count and any trial batch size.
 func TestWorkerCountInvariance(t *testing.T) {
 	for _, seed := range []uint64{1, 77, 0xdeadbeef} {
-		base, err := simGrid(1, seed).Execute()
+		base, err := simGridBatch(1, 1, seed).Execute()
 		if err != nil {
 			t.Fatal(err)
 		}
-		for _, workers := range []int{2, 4, 8, 0} { // 0 = GOMAXPROCS
-			got, err := simGrid(workers, seed).Execute()
-			if err != nil {
-				t.Fatal(err)
-			}
-			if !reflect.DeepEqual(base.Cells, got.Cells) {
-				t.Fatalf("seed %d: workers=1 vs workers=%d cells differ", seed, workers)
-			}
-			if base.Text() != got.Text() {
-				t.Errorf("seed %d workers=%d: text output differs", seed, workers)
-			}
-			if base.CSV() != got.CSV() {
-				t.Errorf("seed %d workers=%d: CSV output differs", seed, workers)
-			}
-			bj, err1 := base.JSON()
-			gj, err2 := got.JSON()
-			if err1 != nil || err2 != nil {
-				t.Fatalf("JSON render: %v %v", err1, err2)
-			}
-			if string(bj) != string(gj) {
-				t.Errorf("seed %d workers=%d: JSON output differs", seed, workers)
+		for _, workers := range []int{1, 2, 4, 8, 0} { // 0 = GOMAXPROCS
+			for _, batch := range []int{0, 1, 8, 64} { // 0 = auto
+				got, err := simGridBatch(workers, batch, seed).Execute()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(base.Cells, got.Cells) {
+					t.Fatalf("seed %d: workers=1/batch=1 vs workers=%d/batch=%d cells differ",
+						seed, workers, batch)
+				}
+				if base.Text() != got.Text() {
+					t.Errorf("seed %d workers=%d batch=%d: text output differs", seed, workers, batch)
+				}
+				if base.CSV() != got.CSV() {
+					t.Errorf("seed %d workers=%d batch=%d: CSV output differs", seed, workers, batch)
+				}
+				bj, err1 := base.JSON()
+				gj, err2 := got.JSON()
+				if err1 != nil || err2 != nil {
+					t.Fatalf("JSON render: %v %v", err1, err2)
+				}
+				if string(bj) != string(gj) {
+					t.Errorf("seed %d workers=%d batch=%d: JSON output differs", seed, workers, batch)
+				}
 			}
 		}
 	}
@@ -100,42 +106,47 @@ func TestSeedSensitivity(t *testing.T) {
 }
 
 // TestSpecWorkerCountInvariance repeats the guarantee at the declarative
-// layer with real algorithms, including a randomized one.
+// layer with real algorithms — a randomized one and a white-box adversary
+// pattern included — across the full workers × batch acceptance matrix.
 func TestSpecWorkerCountInvariance(t *testing.T) {
-	mk := func(workers int) sweep.Spec {
+	mk := func(workers, batch int) sweep.Spec {
 		cases, err := sweep.CasesByName("wakeupc,rpd")
 		if err != nil {
 			t.Fatal(err)
 		}
-		gens, err := sweep.ParsePatterns("staggered:3,uniform:16")
+		gens, err := sweep.ParsePatterns("staggered:3,uniform:16,spoiler")
 		if err != nil {
 			t.Fatal(err)
 		}
 		return sweep.Spec{
 			Name: "spec-det", Cases: cases, Patterns: gens,
 			Ns: []int{64, 128}, Ks: []int{2, 8}, Trials: 3,
-			Seed: 99, Workers: workers,
+			Seed: 99, Workers: workers, Batch: batch,
 		}
 	}
-	one, err := mk(1).Execute()
+	base, err := mk(1, 1).Execute()
 	if err != nil {
 		t.Fatal(err)
 	}
-	eight, err := mk(8).Execute()
-	if err != nil {
-		t.Fatal(err)
-	}
-	if !reflect.DeepEqual(one.Cells, eight.Cells) {
-		t.Fatal("spec results differ between 1 and 8 workers")
-	}
-	to, _ := one.Render("text")
-	te, _ := eight.Render("text")
-	co, _ := one.Render("csv")
-	ce, _ := eight.Render("csv")
-	jo, _ := one.Render("json")
-	je, _ := eight.Render("json")
-	if to != te || co != ce || jo != je {
-		t.Error("rendered output differs between 1 and 8 workers")
+	bt, _ := base.Render("text")
+	bc, _ := base.Render("csv")
+	bj, _ := base.Render("json")
+	for _, workers := range []int{1, 4, 0} { // 0 = GOMAXPROCS
+		for _, batch := range []int{1, 8, 64} {
+			got, err := mk(workers, batch).Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(base.Cells, got.Cells) {
+				t.Fatalf("spec results differ at workers=%d batch=%d", workers, batch)
+			}
+			gt, _ := got.Render("text")
+			gc, _ := got.Render("csv")
+			gj, _ := got.Render("json")
+			if gt != bt || gc != bc || gj != bj {
+				t.Errorf("rendered output differs at workers=%d batch=%d", workers, batch)
+			}
+		}
 	}
 }
 

@@ -121,6 +121,7 @@ func TestGridMatchesReferenceSimulator(t *testing.T) {
 			Trials:  trials,
 			Seed:    gridSeed,
 			Workers: 1 + src.Intn(8),
+			Batch:   src.Intn(5), // 0 = auto; batching must not show in output
 			Run:     runTrial,
 		}.Execute()
 		if err != nil {
@@ -201,6 +202,64 @@ func TestSpecMatchesReferenceSimulator(t *testing.T) {
 						if got := cell.Samples[trial]; got != want {
 							t.Fatalf("cell %v trial %d: sweep %+v != reference %+v",
 								cell.Cell, trial, got, want)
+						}
+					}
+					ci++
+				}
+			}
+		}
+	}
+	if ci != len(res.Cells) {
+		t.Fatalf("enumerated %d cells, sweep produced %d", ci, len(res.Cells))
+	}
+}
+
+// TestSpecWhiteBoxPatternsMatchDirectAdversary re-derives spoiler and swap
+// cells outside the orchestrator: a white-box cell must equal running the
+// adversary by hand with the trial's derived seeds and replaying its pattern
+// through the reference simulator.
+func TestSpecWhiteBoxPatternsMatchDirectAdversary(t *testing.T) {
+	cases, err := sweep.CasesByName("roundrobin,rpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := sweep.ParsePatterns("spoiler,swap")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sweep.Spec{
+		Name:     "whitebox-diff",
+		Cases:    cases,
+		Patterns: gens,
+		Ns:       []int{24},
+		Ks:       []int{1, 4},
+		Trials:   2,
+		Seed:     0xabc,
+		Workers:  3,
+		Batch:    1,
+	}
+	res, err := spec.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ci := 0
+	for _, c := range spec.Cases {
+		for _, gen := range spec.Patterns {
+			for _, n := range spec.Ns {
+				for _, k := range spec.Ks {
+					horizon := c.Horizon(n, k)
+					for trial := 0; trial < spec.Trials; trial++ {
+						seed := sweep.TrialSeed(spec.Seed, ci, trial)
+						algo := c.Algo(n, k)
+						p := c.Params(n, k, seed)
+						w := gen.Pattern(algo, p, k, horizon, sweep.PatternSeed(seed))
+						if err := w.Validate(n); err != nil {
+							t.Fatalf("cell %d: white-box pattern invalid: %v", ci, err)
+						}
+						want := refSample(refRun(algo, p, w, horizon, seed), horizon)
+						if got := res.Cells[ci].Samples[trial]; got != want {
+							t.Fatalf("cell %v trial %d: sweep %+v != reference %+v",
+								res.Cells[ci].Cell, trial, got, want)
 						}
 					}
 					ci++

@@ -29,8 +29,8 @@ type Case struct {
 }
 
 // Spec is the declarative sweep: the cross product of Cases × Patterns ×
-// Ns × Ks, Trials trials per cell, each trial driving sim.Run with a pattern
-// drawn from the trial's derived stream.
+// Ns × Ks, Trials trials per cell, each trial running on the worker's
+// pooled engine with a pattern drawn from the trial's derived stream.
 type Spec struct {
 	// Name labels the sweep in rendered output.
 	Name string
@@ -47,6 +47,9 @@ type Spec struct {
 	Seed uint64
 	// Workers bounds the cell worker pool (<= 0 selects GOMAXPROCS).
 	Workers int
+	// Batch caps trials per work item (<= 0 selects the Grid default); it
+	// tunes scheduling overhead only and never changes output bytes.
+	Batch int
 }
 
 // patternStream offsets the pattern draw from the algorithm-seed draw inside
@@ -131,17 +134,22 @@ func (s Spec) Grid() (Grid, error) {
 		Trials:  s.Trials,
 		Seed:    s.Seed,
 		Workers: s.Workers,
-		Run: func(cell, trial int, seed uint64) Sample {
+		Batch:   s.Batch,
+		RunEngine: func(e *sim.Engine, cell, trial int, seed uint64) Sample {
 			pt := points[cell]
+			algo := pt.c.Algo(pt.n, pt.k)
 			p := pt.c.Params(pt.n, pt.k, seed)
-			w := pt.gen.Generate(pt.n, pt.k, PatternSeed(seed))
 			horizon := pt.c.Horizon(pt.n, pt.k)
-			res, _, err := sim.Run(pt.c.Algo(pt.n, pt.k), p, w, sim.Options{Horizon: horizon, Seed: seed})
-			if err != nil {
+			// White-box families (spoiler, swap) construct their pattern
+			// against the cell's algorithm; black-box families draw from
+			// (n, k, pattern stream) alone.
+			w := pt.gen.Pattern(algo, p, pt.k, horizon, PatternSeed(seed))
+			if err := e.Reset(algo, p, w, sim.Options{Horizon: horizon, Seed: seed}); err != nil {
 				// A knowledge-inconsistent (case, pattern) pairing is a spec
 				// bug; surface it loudly rather than skewing aggregates.
 				panic(fmt.Sprintf("sweep: %s × %s rejected input: %v", pt.c.Name, pt.gen.Name, err))
 			}
+			res := e.Run()
 			if !res.Succeeded {
 				res.Rounds = horizon
 			}
@@ -181,53 +189,53 @@ func StandardCases() []Case {
 	}
 	return []Case{
 		{
-			Name: "roundrobin",
-			Algo: func(n, k int) model.Algorithm { return core.NewRoundRobin() },
-			Params: scenC,
+			Name:    "roundrobin",
+			Algo:    func(n, k int) model.Algorithm { return core.NewRoundRobin() },
+			Params:  scenC,
 			Horizon: func(n, k int) int64 { return core.NewRoundRobin().Horizon(n, k) },
 		},
 		{
-			Name: "wakeup_with_s",
-			Algo: func(n, k int) model.Algorithm { return core.NewWakeupWithS() },
-			Params: scenA,
+			Name:    "wakeup_with_s",
+			Algo:    func(n, k int) model.Algorithm { return core.NewWakeupWithS() },
+			Params:  scenA,
 			Horizon: core.WakeupWithSHorizon,
 		},
 		{
-			Name: "wakeup_with_k",
-			Algo: func(n, k int) model.Algorithm { return core.NewWakeupWithK() },
-			Params: scenB,
+			Name:    "wakeup_with_k",
+			Algo:    func(n, k int) model.Algorithm { return core.NewWakeupWithK() },
+			Params:  scenB,
 			Horizon: core.WakeupWithKHorizon,
 		},
 		{
-			Name: "wakeupc",
-			Algo: func(n, k int) model.Algorithm { return core.NewWakeupC() },
-			Params: scenC,
+			Name:    "wakeupc",
+			Algo:    func(n, k int) model.Algorithm { return core.NewWakeupC() },
+			Params:  scenC,
 			Horizon: func(n, k int) int64 { return core.NewWakeupC().Horizon(n, k) },
 		},
 		{
-			Name: "rpd",
-			Algo: func(n, k int) model.Algorithm { return core.NewRPD() },
-			Params: scenC,
+			Name:    "rpd",
+			Algo:    func(n, k int) model.Algorithm { return core.NewRPD() },
+			Params:  scenC,
 			Horizon: func(n, k int) int64 { return core.NewRPD().Horizon(n, k) },
 		},
 		{
-			Name: "rpdk",
-			Algo: func(n, k int) model.Algorithm { return core.NewRPDWithK() },
-			Params: scenB,
+			Name:    "rpdk",
+			Algo:    func(n, k int) model.Algorithm { return core.NewRPDWithK() },
+			Params:  scenB,
 			Horizon: func(n, k int) int64 { return core.NewRPDWithK().Horizon(n, k) },
 		},
 		{
-			Name: "beb",
-			Algo: func(n, k int) model.Algorithm { return core.NewBEB() },
-			Params: scenC,
+			Name:    "beb",
+			Algo:    func(n, k int) model.Algorithm { return core.NewBEB() },
+			Params:  scenC,
 			Horizon: func(n, k int) int64 { return core.NewBEB().Horizon(n, k) },
 		},
 		{
-			Name: "localssf",
-			Algo: func(n, k int) model.Algorithm { return core.NewLocalSSF() },
-			Params: scenB,
+			Name:    "localssf",
+			Algo:    func(n, k int) model.Algorithm { return core.NewLocalSSF() },
+			Params:  scenB,
 			Horizon: func(n, k int) int64 { return core.NewLocalSSF().Horizon(n, k) },
-			MaxK: 64,
+			MaxK:    64,
 		},
 	}
 }
@@ -274,8 +282,15 @@ func ParsePatterns(list string) ([]adversary.Generator, error) {
 // shape parameters: every family starts at slot s; staggered/bursts use gap
 // and uniform uses width unless an entry overrides its parameter with :arg
 // — "simultaneous", "staggered:7", "uniform:64", "bursts:17". Empty or
-// "suite" selects the standard adversary suite. It is the single pattern
-// registry behind both cmd/ tools; new families belong here.
+// "suite" selects the standard adversary suite.
+//
+// Two white-box families are registered alongside the black-box ones:
+// "spoiler" (wake a colliding fresh station at every would-be success slot)
+// and "swap" (the Theorem 2.1 swap search's worst witness set; "swap:1"
+// selects the greedy, much slower variant). They ignore the shape
+// parameters — their pattern is constructed per trial against the cell's
+// algorithm. It is the single pattern registry behind both cmd/ tools; new
+// families belong here.
 func ParsePatternsAt(list string, s, gap, width int64) ([]adversary.Generator, error) {
 	if list == "" || list == "suite" {
 		return adversary.Suite(), nil
@@ -307,8 +322,15 @@ func ParsePatternsAt(list string, s, gap, width int64) ([]adversary.Generator, e
 			out = append(out, adversary.UniformWindow(s, pick(width)))
 		case "bursts":
 			out = append(out, adversary.Bursts(s, 4, pick(gap)))
+		case "spoiler":
+			out = append(out, adversary.SpoilerPattern())
+		case "swap":
+			if hasArg && arg != 0 && arg != 1 {
+				return nil, fmt.Errorf("sweep: bad swap argument %q (swap:1 selects the greedy search; swap:0 or no argument the plain one)", argStr)
+			}
+			out = append(out, adversary.SwapPattern(arg == 1))
 		default:
-			return nil, fmt.Errorf("sweep: unknown pattern %q (have simultaneous, staggered[:gap], uniform[:width], bursts[:gap], suite)", name)
+			return nil, fmt.Errorf("sweep: unknown pattern %q (have simultaneous, staggered[:gap], uniform[:width], bursts[:gap], spoiler, swap[:1=greedy], suite)", name)
 		}
 	}
 	return out, nil

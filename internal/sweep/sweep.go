@@ -19,7 +19,23 @@
 // searches, conflict-resolution runs, ablations). Spec is the declarative
 // layer used by the experiment tables and the cmd/ tools: it enumerates
 // algorithm cases × pattern generators × {n, k} axes, compiles to a Grid, and
-// runs each cell through sim.Run.
+// runs each cell through a pooled simulation engine.
+//
+// # Batching and the engine pool
+//
+// The execution unit is not a single trial but a batch: each work item sent
+// to the pool is a contiguous run of up to Batch trials of one cell (default
+// max(1, Trials/(8·workers)), so every worker sees several items and tiny
+// trials amortize the channel send, the modulo bookkeeping and the scheduler
+// wakeup across the batch. Batching is invisible in the output — each
+// trial's seed still derives from (Seed, cell, trial), never from the batch
+// geometry, so any batch size reproduces the same bytes.
+//
+// Each worker owns one reusable sim.Engine for the grid's lifetime. Grids
+// declared with RunEngine (the Spec layer and the hot experiment drivers)
+// run every trial through that engine's Reset/Run lifecycle, which recycles
+// the station table, transmit buffers and channel between trials — a trial
+// costs only the schedule closures the algorithm itself builds.
 package sweep
 
 import (
@@ -27,8 +43,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"nsmac/internal/rng"
+	"nsmac/internal/sim"
 	"nsmac/internal/stats"
 )
 
@@ -55,12 +73,19 @@ type Sample struct {
 
 // TrialFunc runs trial `trial` of cell `cell` with its derived seed and
 // returns the outcome. Implementations must be deterministic in their
-// arguments and safe for concurrent invocation: the pool shards individual
-// (cell, trial) work items, so two trials of the same cell may run at once.
+// arguments and safe for concurrent invocation: the pool shards batches of
+// (cell, trial) work, so two trials of the same cell may run at once.
 type TrialFunc func(cell, trial int, seed uint64) Sample
 
+// EngineTrialFunc is TrialFunc for grids that run simulations: the trial
+// executes on the calling worker's pooled engine (Reset it, then Run it).
+// The engine is reused across every trial the worker executes, so the
+// implementation must not retain it — or anything reached through it, like
+// the channel transcript — past the call.
+type EngineTrialFunc func(e *sim.Engine, cell, trial int, seed uint64) Sample
+
 // Grid is the low-level sweep unit: an explicit list of cells, each run for
-// Trials trials by Run.
+// Trials trials by Run or RunEngine.
 type Grid struct {
 	// Name labels the grid in rendered output.
 	Name string
@@ -71,12 +96,20 @@ type Grid struct {
 	// Trials is the per-cell trial count (>= 1).
 	Trials int
 	// Seed keys every derived stream; identical seeds reproduce the grid
-	// byte-for-byte at any worker count.
+	// byte-for-byte at any worker count and any batch size.
 	Seed uint64
 	// Workers bounds the goroutine pool (<= 0 selects GOMAXPROCS).
 	Workers int
-	// Run executes one trial.
+	// Batch caps how many trials of one cell a single work item executes
+	// (<= 0 selects max(1, Trials/(8·workers))). Batching amortizes pool
+	// overhead; it never changes results, because trial seeds derive from
+	// (Seed, cell, trial) regardless of batch geometry.
+	Batch int
+	// Run executes one trial. Exactly one of Run and RunEngine is set.
 	Run TrialFunc
+	// RunEngine executes one trial on the worker's pooled engine. Exactly
+	// one of Run and RunEngine is set.
+	RunEngine EngineTrialFunc
 }
 
 // CellResult pairs a cell's coordinates with its trial outcomes.
@@ -111,8 +144,11 @@ func TrialSeed(gridSeed uint64, cell, trial int) uint64 {
 
 // Validate checks the grid is runnable.
 func (g Grid) Validate() error {
-	if g.Run == nil {
+	if g.Run == nil && g.RunEngine == nil {
 		return errors.New("sweep: nil trial function")
+	}
+	if g.Run != nil && g.RunEngine != nil {
+		return errors.New("sweep: both Run and RunEngine set; pick one")
 	}
 	if g.Trials < 1 {
 		return fmt.Errorf("sweep: %d trials, want >= 1", g.Trials)
@@ -125,21 +161,39 @@ func (g Grid) Validate() error {
 	return nil
 }
 
-// Execute runs the grid: individual (cell, trial) work items are sharded
-// over the worker pool, each with a seed derived from (Seed, cell, trial).
-// Every sample lands at its (cell, trial) index and aggregation walks cells
-// and trials in declaration order after the pool drains, so the schedule
-// never influences the result.
+// batchSize resolves the effective trial batch size for a worker count.
+func (g Grid) batchSize(workers int) int {
+	b := g.Batch
+	if b <= 0 {
+		b = g.Trials / (8 * workers)
+	}
+	if b < 1 {
+		b = 1
+	}
+	if b > g.Trials {
+		b = g.Trials
+	}
+	return b
+}
+
+// Execute runs the grid: work items — batches of up to Batch consecutive
+// trials of one cell — are sharded over the worker pool, and each trial runs
+// with a seed derived from (Seed, cell, trial). Every sample lands at its
+// (cell, trial) index and aggregation walks cells and trials in declaration
+// order after the pool drains, so neither the schedule nor the batch
+// geometry ever influences the result.
 func (g Grid) Execute() (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	res := &Result{Name: g.Name, Axes: g.Axes, Cells: make([]CellResult, len(g.Cells))}
+	// One flat sample arena, subsliced per cell: a grid costs O(1) result
+	// allocations instead of one per cell.
+	arena := make([]Sample, len(g.Cells)*g.Trials)
 	for ci, labels := range g.Cells {
-		res.Cells[ci] = CellResult{Cell: labels, Samples: make([]Sample, g.Trials)}
+		res.Cells[ci] = CellResult{Cell: labels, Samples: arena[ci*g.Trials : (ci+1)*g.Trials : (ci+1)*g.Trials]}
 	}
-	items := len(g.Cells) * g.Trials
-	if items == 0 {
+	if len(g.Cells) == 0 {
 		return res, nil
 	}
 
@@ -147,30 +201,52 @@ func (g Grid) Execute() (*Result, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	batch := g.batchSize(workers)
+	perCell := (g.Trials + batch - 1) / batch // batches per cell
+	items := len(g.Cells) * perCell
 	if workers > items {
 		workers = items
 	}
 
-	next := make(chan int, items)
-	for i := 0; i < items; i++ {
-		next <- i
-	}
-	close(next)
-
+	// Work items are claimed off an atomic cursor rather than a channel: a
+	// claim is one fetch-add, so at high worker counts tiny trials no longer
+	// serialize on channel sends (and the item buffer allocation is gone).
+	var cursor atomic.Int64
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func() {
 			defer wg.Done()
-			for item := range next {
-				ci, trial := item/g.Trials, item%g.Trials
-				res.Cells[ci].Samples[trial] = g.Run(ci, trial, TrialSeed(g.Seed, ci, trial))
+			var eng *sim.Engine
+			if g.RunEngine != nil {
+				eng = sim.NewEngine()
+			}
+			for {
+				item := int(cursor.Add(1)) - 1
+				if item >= items {
+					return
+				}
+				ci := item / perCell
+				lo := (item % perCell) * batch
+				hi := lo + batch
+				if hi > g.Trials {
+					hi = g.Trials
+				}
+				for trial := lo; trial < hi; trial++ {
+					seed := TrialSeed(g.Seed, ci, trial)
+					if eng != nil {
+						res.Cells[ci].Samples[trial] = g.RunEngine(eng, ci, trial, seed)
+					} else {
+						res.Cells[ci].Samples[trial] = g.Run(ci, trial, seed)
+					}
+				}
 			}
 		}()
 	}
 	wg.Wait()
 
 	for ci := range res.Cells {
+		res.Cells[ci].Agg.Reserve(g.Trials)
 		for _, s := range res.Cells[ci].Samples {
 			res.Cells[ci].Agg.AddTrial(float64(s.Rounds), s.OK, s.Collisions, s.Silences, s.Transmissions)
 		}

@@ -6,6 +6,7 @@ import (
 
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
+	"nsmac/internal/sim"
 	"nsmac/internal/sweep"
 )
 
@@ -86,6 +87,68 @@ func TestGridValidation(t *testing.T) {
 	if _, err := g.Execute(); err == nil {
 		t.Error("label/axes mismatch accepted")
 	}
+	g = countingGrid(1)
+	g.RunEngine = func(_ *sim.Engine, cell, trial int, seed uint64) sweep.Sample {
+		return sweep.Sample{}
+	}
+	if _, err := g.Execute(); err == nil {
+		t.Error("both Run and RunEngine accepted")
+	}
+}
+
+// TestGridEnginePoolRoutesAndReuses runs an engine-pooled grid and checks
+// (a) samples land at their (cell, trial) index with the right seed, and
+// (b) results equal a fresh sim.Run per trial — the pooled engine leaks no
+// state between trials.
+func TestGridEnginePoolRoutesAndReuses(t *testing.T) {
+	dims := [][2]int{{8, 2}, {24, 5}, {40, 11}}
+	cells := make([][]string, len(dims))
+	for i := range dims {
+		cells[i] = []string{string(rune('a' + i))}
+	}
+	trial := func(e *sim.Engine, cell, trial int, seed uint64) sweep.Sample {
+		n, k := dims[cell][0], dims[cell][1]
+		algo := hashAlgo{density: 2}
+		p := model.Params{N: n, S: -1, Seed: rng.Derive(seed, 1)}
+		w := model.Simultaneous(rng.New(rng.Derive(seed, 2)).Sample(n, k), 0)
+		if err := e.Reset(algo, p, w, sim.Options{Horizon: 150, Seed: seed}); err != nil {
+			panic(err)
+		}
+		res := e.Run()
+		return sweep.Sample{
+			OK: res.Succeeded, Rounds: res.Rounds,
+			Collisions: res.Collisions, Silences: res.Silences,
+			Transmissions: res.Transmissions,
+			Winner:        res.Winner, SuccessSlot: res.SuccessSlot,
+		}
+	}
+	for _, batch := range []int{1, 3, 64} {
+		res, err := sweep.Grid{
+			Name: "pool", Axes: []string{"cell"}, Cells: cells,
+			Trials: 7, Seed: 13, Workers: 4, Batch: batch,
+			RunEngine: trial,
+		}.Execute()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range dims {
+			n, k := dims[ci][0], dims[ci][1]
+			for ti, got := range res.Cells[ci].Samples {
+				seed := sweep.TrialSeed(13, ci, ti)
+				p := model.Params{N: n, S: -1, Seed: rng.Derive(seed, 1)}
+				w := model.Simultaneous(rng.New(rng.Derive(seed, 2)).Sample(n, k), 0)
+				fresh, _, err := sim.Run(hashAlgo{density: 2}, p, w, sim.Options{Horizon: 150, Seed: seed})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got.Rounds != fresh.Rounds || got.Winner != fresh.Winner ||
+					got.SuccessSlot != fresh.SuccessSlot || got.Collisions != fresh.Collisions {
+					t.Fatalf("batch=%d cell %d trial %d: pooled %+v != fresh %+v",
+						batch, ci, ti, got, fresh)
+				}
+			}
+		}
+	}
 }
 
 func TestGridEmptyCells(t *testing.T) {
@@ -163,9 +226,9 @@ func TestSpecRejectsDegenerateGrids(t *testing.T) {
 	cases, _ := sweep.CasesByName("roundrobin")
 	gens, _ := sweep.ParsePatterns("simultaneous")
 	bad := []sweep.Spec{
-		{Patterns: gens, Ns: []int{8}, Ks: []int{2}, Trials: 1},              // no cases
-		{Cases: cases, Ns: []int{8}, Ks: []int{2}, Trials: 1},                // no patterns
-		{Cases: cases, Patterns: gens, Trials: 1},                            // no axes
+		{Patterns: gens, Ns: []int{8}, Ks: []int{2}, Trials: 1},               // no cases
+		{Cases: cases, Ns: []int{8}, Ks: []int{2}, Trials: 1},                 // no patterns
+		{Cases: cases, Patterns: gens, Trials: 1},                             // no axes
 		{Cases: cases, Patterns: gens, Ns: []int{4}, Ks: []int{8}, Trials: 1}, // all k > n
 	}
 	for i, s := range bad {
@@ -200,6 +263,19 @@ func TestParsePatterns(t *testing.T) {
 	}
 	if got[0].Name != "staggered(gap=13)" {
 		t.Errorf("gap argument ignored: %s", got[0].Name)
+	}
+	wb, err := sweep.ParsePatterns("spoiler,swap,swap:1")
+	if err != nil {
+		t.Fatalf("white-box patterns rejected: %v", err)
+	}
+	wantNames := []string{"spoiler", "swap", "swap(greedy)"}
+	for i, g := range wb {
+		if g.Name != wantNames[i] {
+			t.Errorf("pattern %d named %q, want %q", i, g.Name, wantNames[i])
+		}
+		if !g.WhiteBox() {
+			t.Errorf("%s must be white-box", g.Name)
+		}
 	}
 	for _, bad := range []string{"nope", "staggered:x", "staggered:-1"} {
 		if _, err := sweep.ParsePatterns(bad); err == nil {
