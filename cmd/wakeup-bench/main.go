@@ -1,30 +1,43 @@
-// Command wakeup-bench regenerates every experiment table in DESIGN.md §5 /
-// EXPERIMENTS.md, or runs a custom sweep grid. Each table reproduces one
-// theorem-backed claim of the paper as a measured shape; a custom grid sweeps
-// algorithms × wake patterns × {n, k} axes through internal/sweep's sharded
-// orchestrator.
+// Command wakeup-bench regenerates every experiment table (see README.md),
+// or runs a sweep grid — declared either by axis flags or by a serializable
+// spec document — optionally as one shard of a multi-process plan.
 //
 // Examples:
 //
-//	wakeup-bench                           # full sweeps (minutes)
-//	wakeup-bench -quick                    # CI-sized sweeps (seconds)
+//	wakeup-bench                           # full experiment suite (minutes)
+//	wakeup-bench -quick                    # CI-sized suite (seconds)
 //	wakeup-bench -only T4,T6 -format csv   # a subset, as CSV
 //	wakeup-bench -algos wakeupc,roundrobin -ns 256,1024 -ks 2,8,32 \
 //	    -patterns staggered:7,simultaneous -trials 10 -format json
+//
+// Spec documents make a grid portable across processes and machines:
+//
+//	wakeup-bench -algos all -trials 20 -dump-spec > grid.json   # flags → doc
+//	wakeup-bench -spec grid.json                                # doc → run
+//	wakeup-bench -spec grid.json -shard 0/3 -out s0.json        # shard 0 of 3
+//	wakeup-bench -spec grid.json -shard 1/3 -out s1.json
+//	wakeup-bench -spec grid.json -shard 2/3 -out s2.json
+//	wakeup-bench merge s0.json s1.json s2.json    # == the unsharded run
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"nsmac/internal/experiments"
-	"nsmac/internal/sweep"
+	"nsmac/sweep"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "merge" {
+		runMerge(os.Args[2:])
+		return
+	}
+
 	var (
 		quick    = flag.Bool("quick", false, "CI-sized sweeps")
 		trials   = flag.Int("trials", 0, "override per-cell trial count")
@@ -33,18 +46,45 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		batch    = flag.Int("batch", 0, "trials per work item (0 = auto); tunes scheduling overhead, never output")
 		format   = flag.String("format", "text", "output format: text | csv | json")
-		algos    = flag.String("algos", "", "custom grid: comma-separated algorithms (or \"all\"); selecting this skips the experiment tables")
+		algos    = flag.String("algos", "", "custom grid: comma-separated algorithm entries (or \"all\"); selecting this skips the experiment tables")
 		ns       = flag.String("ns", "256,1024", "custom grid: universe sizes")
 		ks       = flag.String("ks", "1,4,16,64", "custom grid: awake-station counts")
-		patterns = flag.String("patterns", "suite", "custom grid: wake patterns (simultaneous, staggered[:gap], uniform[:width], bursts[:gap], spoiler, swap[:1=greedy], suite)")
+		patterns = flag.String("patterns", "suite", "custom grid: wake pattern entries (simultaneous, staggered[:gap], uniform[:width], bursts[:gap], spoiler, swap[:1=greedy], suite; @slot shifts the start)")
+		specFile = flag.String("spec", "", "run the sweep described by this spec document (JSON) instead of flag axes or experiment tables")
+		shardArg = flag.String("shard", "", "run only shard i of m of the grid, as \"i/m\", and emit a shard envelope (requires -spec or -algos)")
+		outFile  = flag.String("out", "", "write output to this file instead of stdout")
+		dumpSpec = flag.Bool("dump-spec", false, "emit the selected grid as a reusable spec document and exit (requires -spec or -algos)")
 	)
 	flag.Parse()
+	if flag.NArg() > 0 {
+		fail("unexpected arguments %v (did you mean the \"merge\" subcommand?)", flag.Args())
+	}
 
-	if *algos != "" {
-		if *only != "" || *quick {
-			fail("-algos selects a custom grid; it cannot be combined with -only or -quick")
-		}
-		runGrid(*algos, *ns, *ks, *patterns, *trials, *seed, *workers, *batch, *format)
+	gridMode := *specFile != "" || *algos != ""
+	if gridMode && (*only != "" || *quick) {
+		fail("-spec/-algos select a grid run; they cannot be combined with -only or -quick")
+	}
+	if (*shardArg != "" || *dumpSpec) && !gridMode {
+		fail("-shard and -dump-spec need a grid: pass -spec or -algos")
+	}
+	if *specFile != "" && *algos != "" {
+		fail("-spec and -algos both describe the grid; pick one")
+	}
+	if *specFile != "" {
+		// The document pins the whole grid; explicitly-set axis flags would
+		// be silently ignored, so refuse them outright.
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "ns", "ks", "patterns", "trials", "seed":
+				fail("-spec pins the grid; -%s cannot override it (edit the document instead)", f.Name)
+			}
+		})
+	}
+
+	if gridMode {
+		spec := buildSpec(*specFile, *algos, *ns, *ks, *patterns, *trials, *seed)
+		spec.Workers, spec.Batch = *workers, *batch
+		runGrid(spec, *shardArg, *dumpSpec, *format, *outFile)
 		return
 	}
 
@@ -71,7 +111,7 @@ func main() {
 			mode = "quick"
 		}
 		fmt.Printf("# nsmac experiment suite — mode=%s seed=%d\n", mode, *seed)
-		fmt.Printf("# reproducing De Marco & Kowalski (IPDPS 2013); see DESIGN.md §5\n\n")
+		fmt.Printf("# reproducing De Marco & Kowalski (IPDPS 2013); see README.md\n\n")
 	}
 
 	// JSON output must stay one parseable document, so tables collect into
@@ -103,8 +143,25 @@ func main() {
 	}
 }
 
-// runGrid executes a custom sweep spec assembled from the axis flags.
-func runGrid(algos, ns, ks, patterns string, trials int, seed uint64, workers, batch int, format string) {
+// buildSpec assembles the sweep spec from a spec document file or from the
+// axis flags.
+func buildSpec(specFile, algos, ns, ks, patterns string, trials int, seed uint64) sweep.Spec {
+	if specFile != "" {
+		data, err := os.ReadFile(specFile)
+		if err != nil {
+			fail("%v", err)
+		}
+		doc, err := sweep.ParseSpecDoc(data)
+		if err != nil {
+			fail("%v", err)
+		}
+		spec, err := doc.Resolve()
+		if err != nil {
+			fail("%v", err)
+		}
+		return spec
+	}
+
 	cases, err := sweep.CasesByName(algos)
 	if err != nil {
 		fail("%v", err)
@@ -124,7 +181,7 @@ func runGrid(algos, ns, ks, patterns string, trials int, seed uint64, workers, b
 	if trials <= 0 {
 		trials = 8
 	}
-	spec := sweep.Spec{
+	return sweep.Spec{
 		Name:     "custom",
 		Cases:    cases,
 		Patterns: gens,
@@ -132,11 +189,53 @@ func runGrid(algos, ns, ks, patterns string, trials int, seed uint64, workers, b
 		Ks:       kAxis,
 		Trials:   trials,
 		Seed:     seed,
-		Workers:  workers,
-		Batch:    batch,
 	}
-	warnSkipped(spec)
-	res, err := spec.Execute()
+}
+
+// runGrid executes the grid modes: dump the spec document, run one shard, or
+// run (and render) the whole sweep.
+func runGrid(spec sweep.Spec, shardArg string, dumpSpec bool, format, outFile string) {
+	if dumpSpec {
+		doc, err := spec.Doc()
+		if err != nil {
+			fail("%v", err)
+		}
+		data, err := doc.Encode()
+		if err != nil {
+			fail("%v", err)
+		}
+		emit(outFile, data)
+		return
+	}
+
+	// One enumeration serves both the skip report and the executable grid —
+	// a shrunken grid (k > n, capped k) is never silent.
+	g, skipped, err := spec.Compile()
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "wakeup-bench: skipping cell %s\n", s)
+	}
+
+	if shardArg != "" {
+		index, count, err := parseShard(shardArg)
+		if err != nil {
+			fail("%v", err)
+		}
+		sr, err := g.RunShard(index, count)
+		if err != nil {
+			fail("%v", err)
+		}
+		data, err := sr.Encode()
+		if err != nil {
+			fail("%v", err)
+		}
+		emit(outFile, data)
+		return
+	}
+
+	res, err := g.Execute()
 	if err != nil {
 		fail("%v", err)
 	}
@@ -144,15 +243,72 @@ func runGrid(algos, ns, ks, patterns string, trials int, seed uint64, workers, b
 	if err != nil {
 		fail("%v", err)
 	}
-	fmt.Print(out)
+	emit(outFile, []byte(out))
 }
 
-// warnSkipped reports requested grid cells the spec drops (k > n, or k
-// beyond an algorithm's feasible regime), so a smaller-than-requested sweep
-// never passes silently.
-func warnSkipped(spec sweep.Spec) {
-	for _, s := range spec.Skipped() {
-		fmt.Fprintf(os.Stderr, "wakeup-bench: skipping cell %s\n", s)
+// runMerge implements the "merge" subcommand: reassemble shard envelopes
+// into the full sweep and render it.
+func runMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	format := fs.String("format", "text", "output format: text | csv | json")
+	outFile := fs.String("out", "", "write output to this file instead of stdout")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: wakeup-bench merge [-format text|csv|json] [-out file] shard.json...\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() == 0 {
+		fail("merge needs at least one shard file")
+	}
+	shards := make([]*sweep.ShardResult, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail("%v", err)
+		}
+		sr, err := sweep.DecodeShardResult(data)
+		if err != nil {
+			fail("%s: %v", path, err)
+		}
+		shards = append(shards, sr)
+	}
+	res, err := sweep.Merge(shards...)
+	if err != nil {
+		fail("%v", err)
+	}
+	out, err := res.Render(*format)
+	if err != nil {
+		fail("%v", err)
+	}
+	emit(*outFile, []byte(out))
+}
+
+// parseShard parses the "-shard i/m" plan coordinate. Both halves must be
+// clean integers — trailing garbage would silently select a different plan.
+func parseShard(s string) (index, count int, err error) {
+	iStr, mStr, ok := strings.Cut(s, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("bad -shard %q, want \"i/m\" (e.g. 0/3)", s)
+	}
+	index, err1 := strconv.Atoi(iStr)
+	count, err2 := strconv.Atoi(mStr)
+	if err1 != nil || err2 != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q, want \"i/m\" (e.g. 0/3)", s)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < m", s)
+	}
+	return index, count, nil
+}
+
+// emit writes output to the -out file, or stdout when none was given.
+func emit(outFile string, data []byte) {
+	if outFile == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(outFile, data, 0o644); err != nil {
+		fail("%v", err)
 	}
 }
 

@@ -2,8 +2,9 @@
 // algorithm, pattern, n, k and one trial it prints the detailed outcome,
 // optionally with the channel transcript and the Figure 1/2 matrix
 // renderings. Any flag accepting a comma-separated list (or -trials > 1)
-// switches to grid mode: the cross product runs through internal/sweep's
-// sharded orchestrator and renders as an aligned table, CSV, or JSON.
+// switches to grid mode: the cross product runs through the sweep
+// orchestrator and renders as an aligned table, CSV, or JSON; -dump-spec
+// emits the grid as a spec document for wakeup-bench -spec / -shard.
 //
 // Examples:
 //
@@ -12,6 +13,7 @@
 //	wakeup-sim -algo wakeupc -n 256 -k 3 -render
 //	wakeup-sim -algo wakeupc,rpd -n 256,1024 -k 2,8,32 -trials 5 -format csv
 //	wakeup-sim -patterns spoiler,swap            # white-box adversary cells
+//	wakeup-sim -algo all -trials 10 -dump-spec   # grid → spec document
 package main
 
 import (
@@ -23,17 +25,17 @@ import (
 	"nsmac/internal/core"
 	"nsmac/internal/model"
 	"nsmac/internal/sim"
-	"nsmac/internal/sweep"
 	"nsmac/internal/trace"
+	"nsmac/sweep"
 )
 
 func main() {
 	var (
-		algoList = flag.String("algo", "wakeupc", "algorithm(s), comma-separated: roundrobin | wakeup_with_s | wakeup_with_k | wakeupc | rpd | rpdk | beb | localssf")
+		algoList = flag.String("algo", "wakeupc", "algorithm entries, comma-separated: roundrobin | wakeup_with_s[:slot] | wakeup_with_k | wakeupc | rpd | rpdk | beb | localssf | all")
 		nList    = flag.String("n", "1024", "universe size(s), comma-separated (station IDs 1..n)")
 		kList    = flag.String("k", "8", "number(s) of stations the adversary wakes, comma-separated")
 		s        = flag.Int64("s", 0, "first wake-up slot")
-		patList  = flag.String("pattern", "simultaneous", "wake pattern(s), comma-separated: simultaneous | staggered | uniform | bursts | spoiler | swap")
+		patList  = flag.String("pattern", "simultaneous", "wake pattern entries, comma-separated: simultaneous | staggered | uniform | bursts | spoiler | swap (see -patterns grammar)")
 		patAlias = flag.String("patterns", "", "alias for -pattern")
 		gap      = flag.Int64("gap", 7, "gap for staggered/bursts patterns")
 		width    = flag.Int64("width", 64, "window width for the uniform pattern")
@@ -43,6 +45,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		batch    = flag.Int("batch", 0, "trials per work item (0 = auto); tunes scheduling overhead, never output")
 		format   = flag.String("format", "text", "grid-mode output format: text | csv | json")
+		dumpSpec = flag.Bool("dump-spec", false, "grid mode: emit the grid as a reusable spec document and exit")
 		showTr   = flag.Bool("trace", false, "print the channel transcript timeline (single-run mode)")
 		render   = flag.Bool("render", false, "print the Figure 1/2 matrix renderings (single-run wakeupc only)")
 	)
@@ -62,29 +65,45 @@ func main() {
 	algos := strings.Split(*algoList, ",")
 	pats := strings.Split(*patList, ",")
 
-	gridMode := *trials > 1 || len(ns) > 1 || len(ks) > 1 || len(algos) > 1 || len(pats) > 1
+	gridMode := *dumpSpec || *trials > 1 || len(ns) > 1 || len(ks) > 1 || len(algos) > 1 || len(pats) > 1
 	if gridMode {
-		runGrid(algos, pats, ns, ks, *trials, *seed, *workers, *batch, *format, *s, *gap, *width)
+		runGrid(algos, pats, ns, ks, *trials, *seed, *workers, *batch, *format, *dumpSpec, *s, *gap, *width)
 		return
 	}
 	runSingle(algos[0], pats[0], ns[0], ks[0], *s, *gap, *width, *seed, *horizon, *showTr, *render)
 }
 
-// runGrid executes the cross product through the sweep orchestrator.
-func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
-	workers, batch int, format string, s, gap, width int64) {
-
-	cases, err := sweep.CasesByName(strings.Join(algos, ","))
-	if err != nil {
-		fail("%v", err)
+// caseEntries rewrites the -algo list into registry entries: "all" expands
+// to the standard set, and a nonzero -s travels as the scenario-A case
+// argument ("wakeup_with_s:<s>") so the grid — and any spec document dumped
+// from it — pins the known start slot by name.
+func caseEntries(algos []string, s int64) []string {
+	var out []string
+	for _, a := range algos {
+		a = strings.TrimSpace(a)
+		if a == "all" {
+			out = append(out, sweep.StandardCaseNames()...)
+			continue
+		}
+		out = append(out, a) // empty entries fall through to CasesByName's error
 	}
-	// The registry's Scenario A case declares S = 0; honor a nonzero -s.
-	for i, c := range cases {
-		if c.Name == "wakeup_with_s" {
-			cases[i].Params = func(n, k int, sd uint64) model.Params {
-				return model.Params{N: n, S: s, Seed: sd}
+	if s != 0 {
+		for i, a := range out {
+			if a == "wakeup_with_s" {
+				out[i] = fmt.Sprintf("wakeup_with_s:%d", s)
 			}
 		}
+	}
+	return out
+}
+
+// runGrid executes the cross product through the sweep orchestrator.
+func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
+	workers, batch int, format string, dumpSpec bool, s, gap, width int64) {
+
+	cases, err := sweep.CasesByName(strings.Join(caseEntries(algos, s), ","))
+	if err != nil {
+		fail("%v", err)
 	}
 	gens, err := sweep.ParsePatternsAt(strings.Join(pats, ","), s, gap, width)
 	if err != nil {
@@ -101,10 +120,27 @@ func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
 		Workers:  workers,
 		Batch:    batch,
 	}
-	for _, sk := range spec.Skipped() {
+	if dumpSpec {
+		doc, err := spec.Doc()
+		if err != nil {
+			fail("%v", err)
+		}
+		data, err := doc.Encode()
+		if err != nil {
+			fail("%v", err)
+		}
+		os.Stdout.Write(data)
+		return
+	}
+	// One enumeration serves both the skip report and the executable grid.
+	g, skipped, err := spec.Compile()
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, sk := range skipped {
 		fmt.Fprintf(os.Stderr, "wakeup-sim: skipping cell %s\n", sk)
 	}
-	res, err := spec.Execute()
+	res, err := g.Execute()
 	if err != nil {
 		fail("%v", err)
 	}

@@ -19,6 +19,7 @@ import (
 func SpoilerPattern() Generator {
 	return Generator{
 		Name: "spoiler",
+		Ref:  "spoiler",
 		VsAlgo: func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64) model.WakePattern {
 			firstID := 1 + rng.New(seed).Intn(p.N)
 			return SpoilerFrom(algo, p, k, horizon, firstID).Pattern
@@ -32,12 +33,13 @@ func SpoilerPattern() Generator {
 // The greedy variant probes every candidate replacement per swap — a much
 // stronger and much slower search; reserve it for small n.
 func SwapPattern(greedy bool) Generator {
-	name := "swap"
+	name, wire := "swap", "swap"
 	if greedy {
-		name = "swap(greedy)"
+		name, wire = "swap(greedy)", "swap:1"
 	}
 	return Generator{
 		Name: name,
+		Ref:  wire,
 		VsAlgo: func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64) model.WakePattern {
 			// The search keys its initial set and its replayed simulations
 			// off p.Seed, which the sweep derives per trial — the extra seed

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"nsmac/internal/sweep"
+)
+
+// TestRegisteredCasesResolveAndRun checks the experiment variants registered
+// in cases.go resolve by name and run on a tiny grid — the T8(a) ablation
+// pair must reproduce its signature asymmetry under the spoiler attack.
+func TestRegisteredCasesResolveAndRun(t *testing.T) {
+	for _, entry := range []string{
+		"waitandgo", "waitandgo_nowait", "wakeupc_nowindow", "wakeupc_c:2", "clockskew:16",
+	} {
+		if _, err := sweep.ResolveCase(entry); err != nil {
+			t.Fatalf("%s: %v", entry, err)
+		}
+	}
+	if _, err := sweep.ResolveCase("wakeupc_c"); err == nil {
+		t.Error("wakeupc_c without its required argument accepted")
+	}
+	if _, err := sweep.ResolveCase("waitandgo:3"); err == nil {
+		t.Error("waitandgo with an argument accepted")
+	}
+
+	cases, err := sweep.CasesByName("waitandgo,waitandgo_nowait")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := sweep.ParsePatterns("spoiler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sweep.Spec{
+		Name: "t8a", Cases: cases, Patterns: gens,
+		Ns: []int{64}, Ks: []int{8}, Trials: 2, Seed: 5,
+	}
+	res, err := spec.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("got %d cells", len(res.Cells))
+	}
+	std, abl := res.Cells[0].Agg.Summary(), res.Cells[1].Agg.Summary()
+	if abl.Mean <= std.Mean {
+		t.Errorf("ablated wait_and_go should suffer more under spoiler: std mean %.1f, ablated %.1f",
+			std.Mean, abl.Mean)
+	}
+
+	// The registered variants must also travel through a spec document.
+	doc, err := spec.Doc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.Join(doc.Cases, ","), "waitandgo_nowait") {
+		t.Errorf("dumped doc lost the registered case: %v", doc.Cases)
+	}
+	back, err := doc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := back.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Error("registered-case spec does not round-trip")
+	}
+}

@@ -1,5 +1,10 @@
 package stats
 
+import (
+	"fmt"
+	"math"
+)
+
 // Aggregate accumulates per-trial simulation outcomes for one sweep cell and
 // merges across shards. It is the streaming counterpart of Summarize: workers
 // feed trials in as they finish, and cell aggregates combine into grid totals
@@ -66,4 +71,61 @@ func (a Aggregate) SuccessRate() float64 {
 // matching Summarize's contract.
 func (a Aggregate) Summary() Summary {
 	return Summarize(a.Rounds)
+}
+
+// AggregateWire is the exact wire form of an Aggregate: the counters plus
+// the raw per-trial round samples, with nothing derived. Every field
+// round-trips through JSON without loss — the integer counters trivially,
+// and the float64 samples because encoding/json emits the shortest decimal
+// that parses back to the identical bits — so a shard's aggregate decoded in
+// another process merges exactly as if the trials had run locally. Derived
+// statistics (mean, quantiles, success rate) are deliberately not encoded:
+// they are recomputed from the merged samples, never re-parsed from rendered
+// decimals.
+type AggregateWire struct {
+	Trials        int       `json:"trials"`
+	Successes     int       `json:"successes"`
+	Rounds        []float64 `json:"rounds"`
+	Collisions    int64     `json:"collisions"`
+	Silences      int64     `json:"silences"`
+	Transmissions int64     `json:"transmissions"`
+}
+
+// Wire converts the aggregate to its wire form. The sample slice is copied,
+// so the wire value stays valid if the aggregate keeps accumulating.
+func (a Aggregate) Wire() AggregateWire {
+	return AggregateWire{
+		Trials:        a.Trials,
+		Successes:     a.Successes,
+		Rounds:        append([]float64(nil), a.Rounds...),
+		Collisions:    a.Collisions,
+		Silences:      a.Silences,
+		Transmissions: a.Transmissions,
+	}
+}
+
+// Aggregate validates the wire form and converts it back. Validation guards
+// the merge path against hand-edited or truncated shard files: the sample
+// count must match the trial counter, successes must fit in trials, and
+// samples must be finite.
+func (w AggregateWire) Aggregate() (Aggregate, error) {
+	if w.Trials < 0 || w.Successes < 0 || w.Successes > w.Trials {
+		return Aggregate{}, fmt.Errorf("stats: inconsistent wire counters (trials=%d successes=%d)", w.Trials, w.Successes)
+	}
+	if len(w.Rounds) != w.Trials {
+		return Aggregate{}, fmt.Errorf("stats: wire has %d round samples for %d trials", len(w.Rounds), w.Trials)
+	}
+	for _, r := range w.Rounds {
+		if math.IsNaN(r) || math.IsInf(r, 0) {
+			return Aggregate{}, fmt.Errorf("stats: non-finite round sample %v", r)
+		}
+	}
+	return Aggregate{
+		Trials:        w.Trials,
+		Successes:     w.Successes,
+		Rounds:        append([]float64(nil), w.Rounds...),
+		Collisions:    w.Collisions,
+		Silences:      w.Silences,
+		Transmissions: w.Transmissions,
+	}, nil
 }

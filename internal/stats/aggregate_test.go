@@ -1,6 +1,11 @@
 package stats
 
-import "testing"
+import (
+	"encoding/json"
+	"math"
+	"reflect"
+	"testing"
+)
 
 func TestAggregateAddTrial(t *testing.T) {
 	var a Aggregate
@@ -77,5 +82,104 @@ func TestAggregateReserve(t *testing.T) {
 	a.Reserve(-1) // no-op
 	if a.Trials != 11 || len(a.Rounds) != 11 {
 		t.Errorf("aggregate corrupted: %+v", a)
+	}
+}
+
+// TestAggregateWireRoundTrip checks the codec is exact: Wire → JSON →
+// AggregateWire → Aggregate reproduces every counter and every float64
+// sample bit-for-bit, including awkward fractions and values past 2^53 that
+// a lossy decimal path would corrupt.
+func TestAggregateWireRoundTrip(t *testing.T) {
+	var a Aggregate
+	awkward := []float64{
+		0, 1, 10, 0.1, 1.0 / 3.0, 2.5e-15, 123456789.000000001,
+		9007199254740993.0, // past 2^53: not exactly representable as int-like decimal
+		1e300, 4503599627370497.25,
+	}
+	for i, r := range awkward {
+		a.AddTrial(r, i%2 == 0, int64(i), int64(2*i), int64(3*i))
+	}
+	data, err := json.Marshal(a.Wire())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var w AggregateWire
+	if err := json.Unmarshal(data, &w); err != nil {
+		t.Fatal(err)
+	}
+	back, err := w.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, back) {
+		t.Fatalf("codec not exact:\n%+v\nvs\n%+v", a, back)
+	}
+	for i, r := range back.Rounds {
+		if math.Float64bits(r) != math.Float64bits(a.Rounds[i]) {
+			t.Fatalf("sample %d changed bits: %x vs %x", i, math.Float64bits(r), math.Float64bits(a.Rounds[i]))
+		}
+	}
+	// The decoded aggregate must keep merging exactly.
+	var merged Aggregate
+	merged.Merge(back)
+	merged.Merge(back)
+	if merged.Trials != 2*a.Trials || merged.Transmissions != 2*a.Transmissions {
+		t.Errorf("decoded aggregate merges wrong: %+v", merged)
+	}
+}
+
+// TestAggregateWireValidation rejects inconsistent or non-finite wire data
+// (hand-edited or truncated shard files).
+func TestAggregateWireValidation(t *testing.T) {
+	var a Aggregate
+	a.AddTrial(5, true, 0, 0, 0)
+	a.AddTrial(7, false, 0, 0, 0)
+
+	bad := a.Wire()
+	bad.Rounds = bad.Rounds[:1]
+	if _, err := bad.Aggregate(); err == nil {
+		t.Error("sample/trial mismatch accepted")
+	}
+
+	bad = a.Wire()
+	bad.Successes = 3
+	if _, err := bad.Aggregate(); err == nil {
+		t.Error("successes > trials accepted")
+	}
+
+	bad = a.Wire()
+	bad.Trials = -1
+	if _, err := bad.Aggregate(); err == nil {
+		t.Error("negative trials accepted")
+	}
+
+	bad = a.Wire()
+	bad.Rounds[0] = math.NaN()
+	if _, err := bad.Aggregate(); err == nil {
+		t.Error("NaN sample accepted")
+	}
+	bad.Rounds[0] = math.Inf(1)
+	if _, err := bad.Aggregate(); err == nil {
+		t.Error("Inf sample accepted")
+	}
+}
+
+// TestAggregateWireIsolated: the wire form must not alias the live
+// aggregate's sample buffer in either direction.
+func TestAggregateWireIsolated(t *testing.T) {
+	var a Aggregate
+	a.AddTrial(1, true, 0, 0, 0)
+	w := a.Wire()
+	a.AddTrial(2, true, 0, 0, 0)
+	if len(w.Rounds) != 1 {
+		t.Fatal("wire sees later trials")
+	}
+	back, err := w.Aggregate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Rounds[0] = 99
+	if back.Rounds[0] != 1 {
+		t.Error("decoded aggregate aliases the wire buffer")
 	}
 }

@@ -1,0 +1,260 @@
+package sweep
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"slices"
+	"sort"
+
+	"nsmac/internal/sim"
+	"nsmac/internal/stats"
+)
+
+// This file is the cross-process half of the orchestrator: deterministic
+// shard planning over the (cell, trial) space, a serializable per-shard
+// result envelope, and the merge that reconstitutes the single-process
+// result byte-for-byte.
+//
+// The plan is trial-striped: shard i of m runs, for every cell, exactly the
+// trials t with t ≡ i (mod m). Striping (rather than contiguous trial
+// blocks) balances expensive white-box cells across shards, and — because a
+// trial's seed is a pure function of (grid seed, cell, global trial index) —
+// a sharded trial computes the identical sample it would have computed
+// in-process. Merging sums the counters and concatenates the round samples;
+// every derived statistic is recomputed from the merged multiset (Summarize
+// sorts before accumulating), so the text/CSV/JSON render of a merged run is
+// byte-identical to the same grid executed in one process at any worker
+// count.
+
+// ShardTrials returns how many of `trials` per-cell trials shard `index` of
+// `count` executes under the trial-striped plan: the number of t in
+// [0, trials) with t ≡ index (mod count).
+func ShardTrials(trials, index, count int) int {
+	if index >= trials {
+		return 0
+	}
+	return (trials - index + count - 1) / count
+}
+
+// Shard returns the grid restricted to shard index of count under the
+// trial-striped plan. The returned grid runs ShardTrials(...) trials per
+// cell; its trial function maps each local trial back to its global (cell,
+// trial) coordinates and derives the unchanged global seed, so samples are
+// bit-identical to the corresponding in-process trials. A shard with zero
+// trials is expressible but not executable (Grid.Validate requires a trial);
+// RunShard handles that case by emitting an empty envelope.
+func (g Grid) Shard(index, count int) (Grid, error) {
+	if count < 1 {
+		return Grid{}, fmt.Errorf("sweep: shard count %d, want >= 1", count)
+	}
+	if index < 0 || index >= count {
+		return Grid{}, fmt.Errorf("sweep: shard index %d out of [0, %d)", index, count)
+	}
+	sg := g
+	sg.Trials = ShardTrials(g.Trials, index, count)
+	global := func(local int) int { return index + local*count }
+	switch {
+	case g.RunEngine != nil:
+		inner := g.RunEngine
+		sg.RunEngine = func(e *sim.Engine, cell, local int, _ uint64) Sample {
+			t := global(local)
+			return inner(e, cell, t, TrialSeed(g.Seed, cell, t))
+		}
+	case g.Run != nil:
+		inner := g.Run
+		sg.Run = func(cell, local int, _ uint64) Sample {
+			t := global(local)
+			return inner(cell, t, TrialSeed(g.Seed, cell, t))
+		}
+	}
+	return sg, nil
+}
+
+// Fingerprint hashes the grid's identity — name, axes, cell labels, trial
+// count, and seed — into a short hex string. Two grids with equal
+// fingerprints enumerate the same (cell, trial) space with the same derived
+// seeds, which is what Merge requires of its shards. Trial functions are
+// closures and cannot be hashed; the fingerprint is a guard against mixing
+// grids, not a proof the closures match.
+func (g Grid) Fingerprint() string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%q %d %d %d %d\n", g.Name, len(g.Axes), len(g.Cells), g.Trials, g.Seed)
+	for _, a := range g.Axes {
+		fmt.Fprintf(h, "%q", a)
+	}
+	for _, cell := range g.Cells {
+		fmt.Fprintf(h, "\n%d", len(cell))
+		for _, label := range cell {
+			fmt.Fprintf(h, "%q", label)
+		}
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:16])
+}
+
+// ShardCell is one cell's contribution from one shard: its coordinates plus
+// the exact wire aggregate of the trials the shard ran.
+type ShardCell struct {
+	Cell []string            `json:"cell"`
+	Agg  stats.AggregateWire `json:"agg"`
+}
+
+// ShardResult is the serializable envelope one shard process emits: enough
+// identity to validate the merge (fingerprint, shard geometry, full trial
+// count) plus the per-cell wire aggregates.
+type ShardResult struct {
+	// Fingerprint identifies the full grid this shard was cut from; Merge
+	// refuses shards with differing fingerprints.
+	Fingerprint string   `json:"fingerprint"`
+	Name        string   `json:"name"`
+	Axes        []string `json:"axes"`
+	// Shard and Shards are the plan coordinates: this envelope holds shard
+	// Shard of Shards.
+	Shard  int `json:"shard"`
+	Shards int `json:"shards"`
+	// Trials is the FULL grid's per-cell trial count (not this shard's);
+	// Merge checks the reassembled cells reach exactly this many trials.
+	Trials int         `json:"trials"`
+	Cells  []ShardCell `json:"cells"`
+}
+
+// Encode renders the envelope as deterministic indented JSON with a trailing
+// newline — the on-disk form `wakeup-bench -shard i/m -out f.json` writes.
+func (r *ShardResult) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// DecodeShardResult decodes one envelope strictly (unknown fields and
+// trailing data are errors).
+func DecodeShardResult(data []byte) (*ShardResult, error) {
+	var r ShardResult
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
+		return nil, fmt.Errorf("sweep: bad shard file: %w", err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("sweep: trailing data after shard envelope")
+	}
+	return &r, nil
+}
+
+// RunShard executes shard index of count of the grid and wraps the outcome
+// in its serializable envelope. Shards with no trials (index >= Trials)
+// return an envelope of zero aggregates without executing anything.
+func (g Grid) RunShard(index, count int) (*ShardResult, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	sg, err := g.Shard(index, count)
+	if err != nil {
+		return nil, err
+	}
+	out := &ShardResult{
+		Fingerprint: g.Fingerprint(),
+		Name:        g.Name,
+		Axes:        append([]string(nil), g.Axes...),
+		Shard:       index,
+		Shards:      count,
+		Trials:      g.Trials,
+		Cells:       make([]ShardCell, len(g.Cells)),
+	}
+	if sg.Trials == 0 {
+		for i, cell := range g.Cells {
+			out.Cells[i] = ShardCell{Cell: append([]string(nil), cell...)}
+		}
+		return out, nil
+	}
+	res, err := sg.Execute()
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range res.Cells {
+		out.Cells[i] = ShardCell{Cell: c.Cell, Agg: c.Agg.Wire()}
+	}
+	return out, nil
+}
+
+// Shard compiles the spec and executes shard index of count — the
+// single-call form behind `wakeup-bench -spec grid.json -shard i/m`.
+func (s Spec) Shard(index, count int) (*ShardResult, error) {
+	g, err := s.Grid()
+	if err != nil {
+		return nil, err
+	}
+	return g.RunShard(index, count)
+}
+
+// Merge reassembles a full sweep Result from the complete set of shard
+// envelopes of one grid. It validates that the shards agree on the grid
+// identity (fingerprint, axes, cells, plan size), that exactly the shard
+// indices 0..m-1 are present once each, and that every reassembled cell
+// reaches the grid's full trial count. The merged result carries the cell
+// aggregates only (per-trial samples stay in the shard processes); its
+// text/CSV/JSON render is byte-identical to the single-process run because
+// counters add exactly and every derived statistic is recomputed from the
+// sorted union of round samples.
+func Merge(shards ...*ShardResult) (*Result, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("sweep: merge of zero shards")
+	}
+	ordered := append([]*ShardResult(nil), shards...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Shard < ordered[j].Shard })
+
+	first := ordered[0]
+	m := first.Shards
+	if m < 1 {
+		return nil, fmt.Errorf("sweep: shard envelope declares %d shards", m)
+	}
+	if len(ordered) != m {
+		return nil, fmt.Errorf("sweep: have %d shard files for a %d-shard plan", len(ordered), m)
+	}
+	for i, r := range ordered {
+		if r.Fingerprint != first.Fingerprint {
+			return nil, fmt.Errorf("sweep: shard %d is from a different grid (fingerprint %s vs %s)",
+				r.Shard, r.Fingerprint, first.Fingerprint)
+		}
+		if r.Shards != m || r.Trials != first.Trials || len(r.Cells) != len(first.Cells) {
+			return nil, fmt.Errorf("sweep: shard %d disagrees on the plan geometry", r.Shard)
+		}
+		if r.Shard != i {
+			return nil, fmt.Errorf("sweep: shard indices are not exactly 0..%d (missing or duplicate shard %d)", m-1, i)
+		}
+	}
+
+	out := &Result{
+		Name:  first.Name,
+		Axes:  append([]string(nil), first.Axes...),
+		Cells: make([]CellResult, len(first.Cells)),
+	}
+	for ci := range first.Cells {
+		labels := first.Cells[ci].Cell
+		var agg stats.Aggregate
+		agg.Reserve(first.Trials)
+		for _, r := range ordered {
+			sc := r.Cells[ci]
+			if !slices.Equal(sc.Cell, labels) {
+				return nil, fmt.Errorf("sweep: shard %d cell %d labeled %v, want %v", r.Shard, ci, sc.Cell, labels)
+			}
+			part, err := sc.Agg.Aggregate()
+			if err != nil {
+				return nil, fmt.Errorf("sweep: shard %d cell %d: %w", r.Shard, ci, err)
+			}
+			if want := ShardTrials(first.Trials, r.Shard, m); part.Trials != want {
+				return nil, fmt.Errorf("sweep: shard %d cell %d carries %d trials, plan says %d",
+					r.Shard, ci, part.Trials, want)
+			}
+			agg.Merge(part)
+		}
+		if agg.Trials != first.Trials {
+			return nil, fmt.Errorf("sweep: cell %d reassembled %d trials, want %d", ci, agg.Trials, first.Trials)
+		}
+		out.Cells[ci] = CellResult{Cell: append([]string(nil), labels...), Agg: agg}
+	}
+	return out, nil
+}

@@ -1,0 +1,314 @@
+package sweep_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"nsmac/internal/stats"
+	"nsmac/internal/sweep"
+)
+
+// shardSpec is the workload the cross-process acceptance tests run: real
+// algorithms including a randomized one, black-box and white-box patterns,
+// and a trial count (5) that does not divide evenly into most shard counts.
+func shardSpec(t *testing.T) sweep.Spec {
+	t.Helper()
+	cases, err := sweep.CasesByName("wakeupc,rpd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gens, err := sweep.ParsePatterns("staggered:3,uniform:16,spoiler")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sweep.Spec{
+		Name: "shards", Cases: cases, Patterns: gens,
+		Ns: []int{64, 128}, Ks: []int{2, 8}, Trials: 5, Seed: 424242,
+	}
+}
+
+// runShards executes every shard of an m-way plan through the full wire
+// path — RunShard, Encode, Decode — and returns the decoded envelopes.
+func runShards(t *testing.T, spec sweep.Spec, m int) []*sweep.ShardResult {
+	t.Helper()
+	g, err := spec.Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*sweep.ShardResult, m)
+	for i := 0; i < m; i++ {
+		sr, err := g.RunShard(i, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := sr.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := sweep.DecodeShardResult(data)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out[i] = back
+	}
+	return out
+}
+
+// TestShardMergeByteIdentical is the PR's acceptance criterion: a grid
+// executed as m independent shards, shipped through the JSON envelope, and
+// merged renders text, CSV, and JSON byte-identical to the same spec run in
+// one process — at any worker count.
+func TestShardMergeByteIdentical(t *testing.T) {
+	spec := shardSpec(t)
+	spec.Workers = 1
+	base, err := spec.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseText, _ := base.Render("text")
+	baseCSV, _ := base.Render("csv")
+	baseJSON, _ := base.Render("json")
+
+	// The in-process guarantee extends across worker counts; the sharded
+	// runs below must land on the same bytes.
+	multi := shardSpec(t)
+	multi.Workers = 4
+	multiRes, err := multi.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mt, _ := multiRes.Render("text"); mt != baseText {
+		t.Fatal("workers=4 differs from workers=1 — in-process determinism broken")
+	}
+
+	for _, m := range []int{1, 2, 3, 8} {
+		shards := runShards(t, shardSpec(t), m)
+		merged, err := sweep.Merge(shards...)
+		if err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+		gotText, _ := merged.Render("text")
+		gotCSV, _ := merged.Render("csv")
+		gotJSON, _ := merged.Render("json")
+		if gotText != baseText {
+			t.Errorf("m=%d: merged text differs from in-process run:\n%s\nvs\n%s", m, gotText, baseText)
+		}
+		if gotCSV != baseCSV {
+			t.Errorf("m=%d: merged CSV differs from in-process run", m)
+		}
+		if gotJSON != baseJSON {
+			t.Errorf("m=%d: merged JSON differs from in-process run", m)
+		}
+	}
+
+	// Merge order must not matter (shards arrive from machines in any order).
+	shards := runShards(t, shardSpec(t), 3)
+	merged, err := sweep.Merge(shards[2], shards[0], shards[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotText, _ := merged.Render("text"); gotText != baseText {
+		t.Error("merge is order-sensitive")
+	}
+}
+
+// TestShardMoreShardsThanTrials: a plan wider than the trial count leaves
+// some shards empty; the merge must still be exact.
+func TestShardMoreShardsThanTrials(t *testing.T) {
+	spec := shardSpec(t)
+	spec.Trials = 2
+	base, err := spec.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseText, _ := base.Render("text")
+
+	spec2 := shardSpec(t)
+	spec2.Trials = 2
+	shards := runShards(t, spec2, 8)
+	for i := 2; i < 8; i++ {
+		for _, c := range shards[i].Cells {
+			if c.Agg.Trials != 0 || len(c.Agg.Rounds) != 0 {
+				t.Fatalf("shard %d should be empty, has %+v", i, c.Agg)
+			}
+		}
+	}
+	merged, err := sweep.Merge(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotText, _ := merged.Render("text"); gotText != baseText {
+		t.Error("merged output differs with empty shards")
+	}
+}
+
+// TestShardTrialsPartition checks the striped plan covers every global trial
+// exactly once at any shard count.
+func TestShardTrialsPartition(t *testing.T) {
+	for _, trials := range []int{1, 2, 5, 8, 100} {
+		for _, m := range []int{1, 2, 3, 7, 150} {
+			total := 0
+			for i := 0; i < m; i++ {
+				total += sweep.ShardTrials(trials, i, m)
+			}
+			if total != trials {
+				t.Errorf("trials=%d m=%d: plan covers %d trials", trials, m, total)
+			}
+		}
+	}
+
+	// White-box coverage of the index mapping: a counting grid records which
+	// (cell, trial, seed) coordinates each shard executed.
+	type key struct{ cell, trial int }
+	for _, m := range []int{1, 2, 3, 4} {
+		seen := map[key]int{}
+		g := countingGrid(2)
+		for i := 0; i < m; i++ {
+			sg, err := g.Shard(i, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := sg.Execute()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ci, c := range res.Cells {
+				for _, s := range c.Samples {
+					// countingGrid encodes cell*100+trial in Rounds and the
+					// derived seed (mod 1000) in Transmissions.
+					cell, trial := int(s.Rounds)/100, int(s.Rounds)%100
+					if cell != ci {
+						t.Fatalf("m=%d shard %d: sample from cell %d landed in cell %d", m, i, cell, ci)
+					}
+					if trial%m != i {
+						t.Fatalf("m=%d shard %d ran trial %d (not its stripe)", m, i, trial)
+					}
+					if want := sweep.TrialSeed(42, cell, trial) % 1000; s.Transmissions != int64(want) {
+						t.Fatalf("m=%d shard %d: trial (%d,%d) ran with wrong derived seed", m, i, cell, trial)
+					}
+					seen[key{cell, trial}]++
+				}
+			}
+		}
+		for k, n := range seen {
+			if n != 1 {
+				t.Fatalf("m=%d: trial %+v ran %d times", m, k, n)
+			}
+		}
+		if len(seen) != 3*4 {
+			t.Fatalf("m=%d: plan covered %d of 12 trials", m, len(seen))
+		}
+	}
+}
+
+// TestAggregateWireMergeExactness is the codec half of the acceptance
+// criterion: encode→decode→Merge of shard aggregates equals in-process
+// merging, field for field, including the float samples bit-for-bit.
+func TestAggregateWireMergeExactness(t *testing.T) {
+	spec := shardSpec(t)
+	base, err := spec.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := runShards(t, shardSpec(t), 3)
+	for ci := range base.Cells {
+		var merged stats.Aggregate
+		for _, sr := range shards {
+			wire := sr.Cells[ci].Agg
+			data, err := json.Marshal(wire)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back stats.AggregateWire
+			if err := json.Unmarshal(data, &back); err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(wire, back) {
+				t.Fatalf("cell %d: wire aggregate changed across JSON: %+v vs %+v", ci, wire, back)
+			}
+			agg, err := back.Aggregate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			merged.Merge(agg)
+		}
+		want := base.Cells[ci].Agg
+		if merged.Trials != want.Trials || merged.Successes != want.Successes ||
+			merged.Collisions != want.Collisions || merged.Silences != want.Silences ||
+			merged.Transmissions != want.Transmissions {
+			t.Fatalf("cell %d: merged counters diverge: %+v vs %+v", ci, merged, want)
+		}
+		if merged.Summary() != want.Summary() {
+			t.Fatalf("cell %d: merged summary diverges (float samples not exact)", ci)
+		}
+	}
+}
+
+// TestMergeValidation drives the merge error paths: incomplete plans,
+// duplicate shards, mixed grids, tampered envelopes.
+func TestMergeValidation(t *testing.T) {
+	spec := shardSpec(t)
+	shards := runShards(t, spec, 3)
+
+	if _, err := sweep.Merge(); err == nil {
+		t.Error("empty merge accepted")
+	}
+	if _, err := sweep.Merge(shards[0], shards[1]); err == nil {
+		t.Error("incomplete plan accepted")
+	}
+	if _, err := sweep.Merge(shards[0], shards[1], shards[1]); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+
+	other := spec
+	other.Seed++
+	otherShards := runShards(t, other, 3)
+	if _, err := sweep.Merge(shards[0], shards[1], otherShards[2]); err == nil {
+		t.Error("shards of different grids merged")
+	}
+
+	tampered := *shards[2]
+	tampered.Cells = append([]sweep.ShardCell(nil), shards[2].Cells...)
+	bad := tampered.Cells[0]
+	bad.Agg.Rounds = bad.Agg.Rounds[:len(bad.Agg.Rounds)-1]
+	tampered.Cells[0] = bad
+	if _, err := sweep.Merge(shards[0], shards[1], &tampered); err == nil {
+		t.Error("truncated shard aggregate accepted")
+	}
+}
+
+// TestDecodeShardResultErrors covers the envelope decode error paths.
+func TestDecodeShardResultErrors(t *testing.T) {
+	for _, bad := range []string{
+		`{"fingerprint":`,
+		`{"fingerprint":"x","bogus":1}`,
+		`{"fingerprint":"x"}{"fingerprint":"y"}`,
+	} {
+		if _, err := sweep.DecodeShardResult([]byte(bad)); err == nil {
+			t.Errorf("decoded %q", bad)
+		}
+	}
+}
+
+// TestSpecShard exercises the Spec-level single-call form.
+func TestSpecShard(t *testing.T) {
+	sr, err := shardSpec(t).Shard(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sr.Shard != 1 || sr.Shards != 2 || sr.Trials != 5 {
+		t.Fatalf("bad envelope: %+v", sr)
+	}
+	for _, c := range sr.Cells {
+		if c.Agg.Trials != 2 { // trials 1 and 3 of 0..4
+			t.Fatalf("shard 1/2 of 5 trials ran %d", c.Agg.Trials)
+		}
+	}
+	if _, err := shardSpec(t).Shard(2, 2); err == nil {
+		t.Error("out-of-range shard accepted")
+	}
+	if _, err := shardSpec(t).Shard(0, 0); err == nil {
+		t.Error("zero-count plan accepted")
+	}
+}

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"nsmac/internal/adversary"
-	"nsmac/internal/core"
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
 	"nsmac/internal/sim"
@@ -17,6 +16,11 @@ import (
 type Case struct {
 	// Name labels the case on the sweep's algo axis.
 	Name string
+	// Ref is the case's wire name in the registry entry grammar `name[:arg]`
+	// (e.g. "wakeupc", "wakeup_with_s:5"). ResolveCase fills it; cases built
+	// directly in Go may leave it empty, at the cost of not being
+	// serializable into a SpecDoc.
+	Ref string
 	// Algo constructs the algorithm for a cell.
 	Algo func(n, k int) model.Algorithm
 	// Params grants the cell's knowledge (Scenario A/B/C switches).
@@ -112,19 +116,28 @@ func (s Spec) Skipped() []string {
 // order — cases outermost, then patterns, ns, ks — is part of the output
 // contract: it fixes both seeds and row order.
 func (s Spec) Grid() (Grid, error) {
+	g, _, err := s.Compile()
+	return g, err
+}
+
+// Compile compiles the spec in a single cross-product walk, returning both
+// the executable grid and the human-readable skip lines for every dropped
+// combination. Callers that surface skips (the CLIs) use this instead of the
+// Grid + Skipped pair, which would enumerate the cross product twice.
+func (s Spec) Compile() (Grid, []string, error) {
 	if len(s.Cases) == 0 {
-		return Grid{}, fmt.Errorf("sweep: spec %q has no algorithm cases", s.Name)
+		return Grid{}, nil, fmt.Errorf("sweep: spec %q has no algorithm cases", s.Name)
 	}
 	if len(s.Patterns) == 0 {
-		return Grid{}, fmt.Errorf("sweep: spec %q has no patterns", s.Name)
+		return Grid{}, nil, fmt.Errorf("sweep: spec %q has no patterns", s.Name)
 	}
 	if len(s.Ns) == 0 || len(s.Ks) == 0 {
-		return Grid{}, fmt.Errorf("sweep: spec %q has empty n or k axis", s.Name)
+		return Grid{}, nil, fmt.Errorf("sweep: spec %q has empty n or k axis", s.Name)
 	}
 
-	points, labels, _ := s.enumerate()
+	points, labels, skipped := s.enumerate()
 	if len(points) == 0 {
-		return Grid{}, fmt.Errorf("sweep: spec %q produced no cells (all k > n?)", s.Name)
+		return Grid{}, skipped, fmt.Errorf("sweep: spec %q produced no cells (all k > n?)", s.Name)
 	}
 
 	return Grid{
@@ -163,7 +176,7 @@ func (s Spec) Grid() (Grid, error) {
 				SuccessSlot:   res.SuccessSlot,
 			}
 		},
-	}, nil
+	}, skipped, nil
 }
 
 // Execute compiles and runs the spec.
@@ -175,100 +188,36 @@ func (s Spec) Execute() (*Result, error) {
 	return g.Execute()
 }
 
-// StandardCases returns the registry of named algorithm cases the cmd/ tools
-// expose, in canonical order.
+// StandardCases returns the canonical named algorithm cases the cmd/ tools
+// expose, in canonical order, resolved from the registry.
 func StandardCases() []Case {
-	scenC := func(n, k int, seed uint64) model.Params {
-		return model.Params{N: n, S: -1, Seed: seed}
+	out := make([]Case, len(standardCaseNames))
+	for i, name := range standardCaseNames {
+		c, err := ResolveCase(name)
+		if err != nil {
+			panic(fmt.Sprintf("sweep: standard case %q missing from registry: %v", name, err))
+		}
+		out[i] = c
 	}
-	scenB := func(n, k int, seed uint64) model.Params {
-		return model.Params{N: n, K: k, S: -1, Seed: seed}
-	}
-	scenA := func(n, k int, seed uint64) model.Params {
-		return model.Params{N: n, S: 0, Seed: seed}
-	}
-	return []Case{
-		{
-			Name:    "roundrobin",
-			Algo:    func(n, k int) model.Algorithm { return core.NewRoundRobin() },
-			Params:  scenC,
-			Horizon: func(n, k int) int64 { return core.NewRoundRobin().Horizon(n, k) },
-		},
-		{
-			Name:    "wakeup_with_s",
-			Algo:    func(n, k int) model.Algorithm { return core.NewWakeupWithS() },
-			Params:  scenA,
-			Horizon: core.WakeupWithSHorizon,
-		},
-		{
-			Name:    "wakeup_with_k",
-			Algo:    func(n, k int) model.Algorithm { return core.NewWakeupWithK() },
-			Params:  scenB,
-			Horizon: core.WakeupWithKHorizon,
-		},
-		{
-			Name:    "wakeupc",
-			Algo:    func(n, k int) model.Algorithm { return core.NewWakeupC() },
-			Params:  scenC,
-			Horizon: func(n, k int) int64 { return core.NewWakeupC().Horizon(n, k) },
-		},
-		{
-			Name:    "rpd",
-			Algo:    func(n, k int) model.Algorithm { return core.NewRPD() },
-			Params:  scenC,
-			Horizon: func(n, k int) int64 { return core.NewRPD().Horizon(n, k) },
-		},
-		{
-			Name:    "rpdk",
-			Algo:    func(n, k int) model.Algorithm { return core.NewRPDWithK() },
-			Params:  scenB,
-			Horizon: func(n, k int) int64 { return core.NewRPDWithK().Horizon(n, k) },
-		},
-		{
-			Name:    "beb",
-			Algo:    func(n, k int) model.Algorithm { return core.NewBEB() },
-			Params:  scenC,
-			Horizon: func(n, k int) int64 { return core.NewBEB().Horizon(n, k) },
-		},
-		{
-			Name:    "localssf",
-			Algo:    func(n, k int) model.Algorithm { return core.NewLocalSSF() },
-			Params:  scenB,
-			Horizon: func(n, k int) int64 { return core.NewLocalSSF().Horizon(n, k) },
-			MaxK:    64,
-		},
-	}
+	return out
 }
 
-// CasesByName resolves a comma-separated algorithm list ("all" or empty
-// selects the full registry) against StandardCases.
+// CasesByName resolves a comma-separated algorithm entry list ("all" or
+// empty selects the standard set) against the case registry. Each entry uses
+// the `name[:arg]` grammar — see ResolveCase.
 func CasesByName(list string) ([]Case, error) {
-	all := StandardCases()
 	if list == "" || list == "all" {
-		return all, nil
-	}
-	byName := make(map[string]Case, len(all))
-	for _, c := range all {
-		byName[c.Name] = c
+		return StandardCases(), nil
 	}
 	var out []Case
-	for _, name := range strings.Split(list, ",") {
-		name = strings.TrimSpace(name)
-		c, ok := byName[name]
-		if !ok {
-			return nil, fmt.Errorf("sweep: unknown algorithm %q (have %s)", name, caseNames(all))
+	for _, entry := range strings.Split(list, ",") {
+		c, err := ResolveCase(entry)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, c)
 	}
 	return out, nil
-}
-
-func caseNames(cs []Case) string {
-	names := make([]string, len(cs))
-	for i, c := range cs {
-		names[i] = c.Name
-	}
-	return strings.Join(names, ", ")
 }
 
 // ParsePatterns resolves a comma-separated pattern list with the default
@@ -278,60 +227,39 @@ func ParsePatterns(list string) ([]adversary.Generator, error) {
 	return ParsePatternsAt(list, 0, 7, 64)
 }
 
-// ParsePatternsAt resolves a comma-separated pattern list against explicit
-// shape parameters: every family starts at slot s; staggered/bursts use gap
-// and uniform uses width unless an entry overrides its parameter with :arg
-// — "simultaneous", "staggered:7", "uniform:64", "bursts:17". Empty or
-// "suite" selects the standard adversary suite.
+// ParsePatternsAt resolves a comma-separated pattern entry list against the
+// pattern registry with explicit shape defaults: every family starts at slot
+// s, staggered/bursts use gap and uniform uses width unless an entry
+// overrides its parameter with the `name[:arg][@start]` grammar —
+// "simultaneous", "staggered:7", "uniform:64@5", "bursts:17". Empty or
+// "suite" selects the standard adversary suite (which pins start slot 0).
 //
 // Two white-box families are registered alongside the black-box ones:
 // "spoiler" (wake a colliding fresh station at every would-be success slot)
 // and "swap" (the Theorem 2.1 swap search's worst witness set; "swap:1"
 // selects the greedy, much slower variant). They ignore the shape
 // parameters — their pattern is constructed per trial against the cell's
-// algorithm. It is the single pattern registry behind both cmd/ tools; new
-// families belong here.
+// algorithm. The registry behind this is shared by both cmd/ tools and
+// SpecDoc resolution; new families join via RegisterPattern.
 func ParsePatternsAt(list string, s, gap, width int64) ([]adversary.Generator, error) {
-	if list == "" || list == "suite" {
+	if strings.TrimSpace(list) == "" {
 		return adversary.Suite(), nil
 	}
+	shape := PatternShape{Start: s, Gap: gap, Width: width}
 	var out []adversary.Generator
 	for _, entry := range strings.Split(list, ",") {
 		entry = strings.TrimSpace(entry)
-		name, argStr, hasArg := strings.Cut(entry, ":")
-		arg := int64(-1)
-		if hasArg {
-			v, err := strconv.ParseInt(argStr, 10, 64)
-			if err != nil || v < 0 {
-				return nil, fmt.Errorf("sweep: bad pattern argument %q in %q", argStr, entry)
-			}
-			arg = v
+		if entry == "suite" {
+			out = append(out, adversary.Suite()...)
+			continue
 		}
-		pick := func(def int64) int64 {
-			if arg >= 0 {
-				return arg
-			}
-			return def
+		// An empty entry (stray comma) is a typo, not a request for the
+		// suite — erroring keeps the grid exactly as wide as asked.
+		g, err := ResolvePattern(entry, shape)
+		if err != nil {
+			return nil, err
 		}
-		switch name {
-		case "simultaneous":
-			out = append(out, adversary.Simultaneous(s))
-		case "staggered":
-			out = append(out, adversary.Staggered(s, pick(gap)))
-		case "uniform":
-			out = append(out, adversary.UniformWindow(s, pick(width)))
-		case "bursts":
-			out = append(out, adversary.Bursts(s, 4, pick(gap)))
-		case "spoiler":
-			out = append(out, adversary.SpoilerPattern())
-		case "swap":
-			if hasArg && arg != 0 && arg != 1 {
-				return nil, fmt.Errorf("sweep: bad swap argument %q (swap:1 selects the greedy search; swap:0 or no argument the plain one)", argStr)
-			}
-			out = append(out, adversary.SwapPattern(arg == 1))
-		default:
-			return nil, fmt.Errorf("sweep: unknown pattern %q (have simultaneous, staggered[:gap], uniform[:width], bursts[:gap], spoiler, swap[:1=greedy], suite)", name)
-		}
+		out = append(out, g)
 	}
 	return out, nil
 }

@@ -1,0 +1,159 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"nsmac/internal/adversary"
+)
+
+// SpecDoc is the serializable, wire-format-first description of a sweep: the
+// JSON document that ships a grid between processes and machines. Cases and
+// patterns are referenced by registry entry (`name[:arg]` for cases,
+// `name[:arg][@start]` for patterns — see ResolveCase and ResolvePattern),
+// so a document resolves to the identical closure-based Spec wherever the
+// same names are registered. Runtime knobs (worker count, batch size) are
+// deliberately absent: they never change a sweep's bytes, so they stay
+// per-process flags rather than traveling with the grid.
+type SpecDoc struct {
+	// Name labels the sweep in rendered output.
+	Name string `json:"name"`
+	// Cases are algorithm case entries ("wakeupc", "wakeup_with_s:5").
+	Cases []string `json:"cases"`
+	// Patterns are wake-pattern entries ("staggered:7", "uniform:64@5",
+	// "spoiler"); "suite" expands to the standard adversary suite. Entries
+	// without an explicit argument use the documented defaults (gap 7,
+	// window width 64, start slot 0).
+	Patterns []string `json:"patterns"`
+	// Ns and Ks are the universe-size and awake-count axes.
+	Ns []int `json:"ns"`
+	Ks []int `json:"ks"`
+	// Trials is the per-cell trial count.
+	Trials int `json:"trials"`
+	// Seed keys the whole sweep; every per-(cell, trial) stream derives
+	// from it, so the document pins the sweep byte-for-byte.
+	Seed uint64 `json:"seed"`
+}
+
+// ParseSpecDoc decodes a spec document strictly: unknown fields and trailing
+// data are errors, so typos in hand-written grids surface instead of
+// silently shrinking the sweep. Semantic validation happens in Resolve.
+func ParseSpecDoc(data []byte) (SpecDoc, error) {
+	var d SpecDoc
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return SpecDoc{}, fmt.Errorf("sweep: bad spec document: %w", err)
+	}
+	// Reject trailing tokens ("{}{}", concatenated docs) — one document is
+	// one grid.
+	if dec.More() {
+		return SpecDoc{}, fmt.Errorf("sweep: trailing data after spec document")
+	}
+	return d, nil
+}
+
+// Encode renders the document as deterministic indented JSON with a trailing
+// newline — the canonical on-disk form.
+func (d SpecDoc) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// Resolve compiles the document to an executable Spec against the case and
+// pattern registries. The returned spec has zero Workers/Batch (run-time
+// knobs); set them before Execute if the defaults don't fit.
+func (d SpecDoc) Resolve() (Spec, error) {
+	if d.Trials < 1 {
+		return Spec{}, fmt.Errorf("sweep: spec %q needs trials >= 1, have %d", d.Name, d.Trials)
+	}
+	for _, axis := range [][]int{d.Ns, d.Ks} {
+		for _, v := range axis {
+			if v < 1 {
+				return Spec{}, fmt.Errorf("sweep: spec %q has non-positive axis value %d", d.Name, v)
+			}
+		}
+	}
+	var cases []Case
+	for _, entry := range d.Cases {
+		c, err := ResolveCase(entry)
+		if err != nil {
+			return Spec{}, err
+		}
+		cases = append(cases, c)
+	}
+	var patterns []adversary.Generator
+	for _, entry := range d.Patterns {
+		if entry == "suite" {
+			patterns = append(patterns, adversary.Suite()...)
+			continue
+		}
+		g, err := ResolvePattern(entry, DefaultPatternShape())
+		if err != nil {
+			return Spec{}, err
+		}
+		patterns = append(patterns, g)
+	}
+	return Spec{
+		Name:     d.Name,
+		Cases:    cases,
+		Patterns: patterns,
+		Ns:       append([]int(nil), d.Ns...),
+		Ks:       append([]int(nil), d.Ks...),
+		Trials:   d.Trials,
+		Seed:     d.Seed,
+	}, nil
+}
+
+// Doc serializes the spec back to its wire document. It requires every case
+// and pattern to carry a registry Ref (specs assembled from ResolveCase /
+// ParsePatterns have them; hand-built closures do not), and it verifies the
+// round trip: the document is resolved again and must compile to a grid with
+// the same fingerprint — same cells, labels, trials, and seed — as the
+// source spec. A spec whose generators can't be reconstructed from their
+// wire names (e.g. a suite pattern combined with a conflicting start
+// override) is rejected here rather than producing a subtly different grid
+// on the far side.
+func (s Spec) Doc() (SpecDoc, error) {
+	d := SpecDoc{
+		Name:   s.Name,
+		Ns:     append([]int(nil), s.Ns...),
+		Ks:     append([]int(nil), s.Ks...),
+		Trials: s.Trials,
+		Seed:   s.Seed,
+	}
+	for _, c := range s.Cases {
+		if c.Ref == "" {
+			return SpecDoc{}, fmt.Errorf("sweep: case %q has no registry ref; register it with RegisterCase to serialize it", c.Name)
+		}
+		d.Cases = append(d.Cases, c.Ref)
+	}
+	for _, g := range s.Patterns {
+		if g.Ref == "" {
+			return SpecDoc{}, fmt.Errorf("sweep: pattern %q has no registry ref; register it with RegisterPattern to serialize it", g.Name)
+		}
+		d.Patterns = append(d.Patterns, g.Ref)
+	}
+
+	src, err := s.Grid()
+	if err != nil {
+		return SpecDoc{}, err
+	}
+	resolved, err := d.Resolve()
+	if err != nil {
+		return SpecDoc{}, fmt.Errorf("sweep: spec does not round-trip: %w", err)
+	}
+	back, err := resolved.Grid()
+	if err != nil {
+		return SpecDoc{}, fmt.Errorf("sweep: spec does not round-trip: %w", err)
+	}
+	if src.Fingerprint() != back.Fingerprint() {
+		return SpecDoc{}, fmt.Errorf("sweep: spec does not round-trip: re-resolved grid differs (fingerprint %s vs %s)",
+			src.Fingerprint(), back.Fingerprint())
+	}
+	return d, nil
+}

@@ -277,10 +277,18 @@ func TestParsePatterns(t *testing.T) {
 			t.Errorf("%s must be white-box", g.Name)
 		}
 	}
-	for _, bad := range []string{"nope", "staggered:x", "staggered:-1"} {
+	// A stray comma must error, not silently expand to the suite; an @start
+	// override on a family that ignores it must error, not silently run a
+	// different adversary.
+	for _, bad := range []string{"nope", "staggered:x", "staggered:-1", "staggered:3,", ",simultaneous", "spoiler@5", "swap@3"} {
 		if _, err := sweep.ParsePatterns(bad); err == nil {
 			t.Errorf("bad pattern %q accepted", bad)
 		}
+	}
+	// start overrides that families honor still resolve.
+	honored, err := sweep.ParsePatterns("simultaneous@5,staggered:3@5,spoiler@0")
+	if err != nil || len(honored) != 3 {
+		t.Fatalf("start overrides rejected: %v", err)
 	}
 }
 

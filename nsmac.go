@@ -19,9 +19,13 @@
 // are Θ(k log(n/k)+1). Scenario C needs neither and costs an extra
 // O(log log n) factor. NewRPD gives the §6 randomized baseline.
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every theorem-backed "table"; the experiment drivers are
-// runnable via cmd/wakeup-bench and the benchmarks in bench_test.go.
+// The companion package nsmac/sweep is the experiment API: declarative
+// grids (algorithms × wake patterns × {n, k} axes), serializable spec
+// documents, and cross-process shard/merge with byte-identical output.
+//
+// See README.md for the public-API and CLI quickstart, including a worked
+// shard→merge example; the theorem-backed experiment tables (T1…T12) are
+// runnable via cmd/wakeup-bench, and the benchmarks live in bench_test.go.
 package nsmac
 
 import (

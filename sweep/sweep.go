@@ -1,0 +1,155 @@
+// Package sweep is the public face of nsmac's grid orchestrator: declare an
+// experiment grid (algorithms × wake-pattern families × {n, k} axes ×
+// trials), run it over a bounded worker pool with per-(cell, trial) derived
+// RNG streams, and render byte-identical text/CSV/JSON at any worker count —
+// in one process, or sharded across many processes and merged.
+//
+// The wire-format-first surface is SpecDoc, a JSON document that references
+// algorithms and patterns by registry name:
+//
+//	doc, _ := sweep.ParseSpecDoc([]byte(`{
+//	    "name": "demo",
+//	    "cases": ["wakeupc", "roundrobin"],
+//	    "patterns": ["staggered:7", "simultaneous"],
+//	    "ns": [256, 1024], "ks": [2, 8],
+//	    "trials": 10, "seed": 1
+//	}`))
+//	spec, _ := doc.Resolve()     // compile names → executable Spec
+//	res, _ := spec.Execute()     // run (workers default to GOMAXPROCS)
+//	fmt.Print(res.Text())
+//
+// To fan the same grid out over m processes and reassemble the identical
+// result:
+//
+//	shard, _ := spec.Shard(i, m)          // in process i of m
+//	data, _ := shard.Encode()             // ship the envelope anywhere
+//	...
+//	res, _ := sweep.Merge(shards...)      // text/CSV/JSON == one-process run
+//
+// New workloads join the name layer with RegisterCase and RegisterPattern;
+// the cmd/wakeup-bench and cmd/wakeup-sim CLIs speak the same registries and
+// documents (-spec, -shard i/m, merge, -dump-spec).
+//
+// This package re-exports nsmac/internal/sweep; the types are aliases, so
+// values flow freely between the public API and the experiment drivers.
+package sweep
+
+import (
+	"nsmac/internal/adversary"
+	"nsmac/internal/stats"
+	isweep "nsmac/internal/sweep"
+)
+
+// Core types (aliases into the internal orchestrator).
+type (
+	// Spec is the declarative sweep: cases × patterns × ns × ks × trials.
+	Spec = isweep.Spec
+	// SpecDoc is the serializable JSON description of a Spec.
+	SpecDoc = isweep.SpecDoc
+	// Case names an algorithm under sweep with its knowledge and horizon.
+	Case = isweep.Case
+	// CaseFactory builds a registered case from its optional entry argument.
+	CaseFactory = isweep.CaseFactory
+	// PatternShape carries the default entry shape parameters.
+	PatternShape = isweep.PatternShape
+	// PatternFactory builds a registered pattern family from its entry.
+	PatternFactory = isweep.PatternFactory
+	// Generator is a reproducible wake-pattern family (black- or white-box).
+	Generator = adversary.Generator
+	// Grid is the low-level sweep unit: explicit cells plus a trial func.
+	Grid = isweep.Grid
+	// Sample is one trial's outcome inside a cell.
+	Sample = isweep.Sample
+	// Result is a completed sweep; render with Text, CSV, JSON, or Render.
+	Result = isweep.Result
+	// CellResult pairs a cell's coordinates with its outcomes.
+	CellResult = isweep.CellResult
+	// ShardResult is the serializable envelope one shard process emits.
+	ShardResult = isweep.ShardResult
+	// ShardCell is one cell's contribution from one shard.
+	ShardCell = isweep.ShardCell
+	// Aggregate accumulates per-trial outcomes and merges across shards.
+	Aggregate = stats.Aggregate
+	// AggregateWire is the exact wire form of an Aggregate.
+	AggregateWire = stats.AggregateWire
+)
+
+// ParseSpecDoc decodes a spec document strictly (unknown fields and trailing
+// data are errors); resolve it with SpecDoc.Resolve.
+func ParseSpecDoc(data []byte) (SpecDoc, error) { return isweep.ParseSpecDoc(data) }
+
+// RegisterCase adds a named algorithm case factory to the registry, making
+// it resolvable from -algos lists and SpecDoc case entries. It panics on a
+// duplicate or malformed name.
+func RegisterCase(name string, f CaseFactory) { isweep.RegisterCase(name, f) }
+
+// RegisterPattern adds a named wake-pattern family factory to the registry,
+// making it resolvable from -patterns lists and SpecDoc pattern entries.
+func RegisterPattern(name string, f PatternFactory) { isweep.RegisterPattern(name, f) }
+
+// ResolveCase resolves one case entry (`name[:arg]`) against the registry.
+func ResolveCase(entry string) (Case, error) { return isweep.ResolveCase(entry) }
+
+// ResolvePattern resolves one pattern entry (`name[:arg][@start]`) against
+// the registry with the given shape defaults.
+func ResolvePattern(entry string, shape PatternShape) (Generator, error) {
+	return isweep.ResolvePattern(entry, shape)
+}
+
+// CaseNames returns every registered case name in registration order.
+func CaseNames() []string { return isweep.CaseNames() }
+
+// PatternNames returns every registered pattern name in registration order.
+func PatternNames() []string { return isweep.PatternNames() }
+
+// StandardCases returns the canonical named algorithm cases, in order.
+func StandardCases() []Case { return isweep.StandardCases() }
+
+// StandardCaseNames returns the canonical algorithm name list ("all").
+func StandardCaseNames() []string { return isweep.StandardCaseNames() }
+
+// CasesByName resolves a comma-separated algorithm entry list ("all" or
+// empty selects the standard set).
+func CasesByName(list string) ([]Case, error) { return isweep.CasesByName(list) }
+
+// DefaultPatternShape returns the documented pattern entry defaults: start
+// slot 0, gap 7, window width 64.
+func DefaultPatternShape() PatternShape { return isweep.DefaultPatternShape() }
+
+// ParsePatterns resolves a comma-separated pattern entry list with the
+// default shape parameters (see DefaultPatternShape).
+func ParsePatterns(list string) ([]Generator, error) { return isweep.ParsePatterns(list) }
+
+// ParsePatternsAt resolves a comma-separated pattern entry list against
+// explicit shape defaults: start slot s, staggered/bursts gap, uniform
+// window width.
+func ParsePatternsAt(list string, s, gap, width int64) ([]Generator, error) {
+	return isweep.ParsePatternsAt(list, s, gap, width)
+}
+
+// ParseInts parses a comma-separated positive integer axis ("256,1024").
+func ParseInts(list string) ([]int, error) { return isweep.ParseInts(list) }
+
+// Merge reassembles a full sweep Result from the complete set of shard
+// envelopes of one grid; its text/CSV/JSON render is byte-identical to the
+// single-process run of the same spec.
+func Merge(shards ...*ShardResult) (*Result, error) { return isweep.Merge(shards...) }
+
+// DecodeShardResult decodes one shard envelope strictly.
+func DecodeShardResult(data []byte) (*ShardResult, error) { return isweep.DecodeShardResult(data) }
+
+// ShardTrials returns how many of `trials` per-cell trials shard
+// `index` of `count` executes under the trial-striped plan.
+func ShardTrials(trials, index, count int) int { return isweep.ShardTrials(trials, index, count) }
+
+// CellSeed returns the derived RNG stream key for a cell.
+func CellSeed(gridSeed uint64, cell int) uint64 { return isweep.CellSeed(gridSeed, cell) }
+
+// TrialSeed returns the derived seed for one (cell, trial) pair; it is a
+// pure function of its arguments, which is what makes sharding exact.
+func TrialSeed(gridSeed uint64, cell, trial int) uint64 {
+	return isweep.TrialSeed(gridSeed, cell, trial)
+}
+
+// PatternSeed returns the stream a spec trial draws its wake pattern from.
+func PatternSeed(trialSeed uint64) uint64 { return isweep.PatternSeed(trialSeed) }
