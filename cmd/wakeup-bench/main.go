@@ -9,6 +9,8 @@
 //	wakeup-bench -only T4,T6 -format csv   # a subset, as CSV
 //	wakeup-bench -algos wakeupc,roundrobin -ns 256,1024 -ks 2,8,32 \
 //	    -patterns staggered:7,simultaneous -trials 10 -format json
+//	wakeup-bench -algos wakeupc -channels none,noisy:0.05 -trials 20
+//	    # channel models as a grid axis (adds the energy column)
 //
 // Spec documents make a grid portable across processes and machines:
 //
@@ -50,6 +52,7 @@ func main() {
 		ns       = flag.String("ns", "256,1024", "custom grid: universe sizes")
 		ks       = flag.String("ks", "1,4,16,64", "custom grid: awake-station counts")
 		patterns = flag.String("patterns", "suite", "custom grid: wake pattern entries (simultaneous, staggered[:gap], uniform[:width], bursts[:gap], spoiler, swap[:1=greedy], suite; @slot shifts the start)")
+		channels = flag.String("channels", "", "custom grid: channel-model entries (none, cd, sender_cd, ack, noisy:<p>, jam:<q>); empty keeps the paper channel and omits the channel axis")
 		specFile = flag.String("spec", "", "run the sweep described by this spec document (JSON) instead of flag axes or experiment tables")
 		shardArg = flag.String("shard", "", "run only shard i of m of the grid, as \"i/m\", and emit a shard envelope (requires -spec or -algos)")
 		outFile  = flag.String("out", "", "write output to this file instead of stdout")
@@ -75,14 +78,14 @@ func main() {
 		// be silently ignored, so refuse them outright.
 		flag.Visit(func(f *flag.Flag) {
 			switch f.Name {
-			case "ns", "ks", "patterns", "trials", "seed":
+			case "ns", "ks", "patterns", "channels", "trials", "seed":
 				fail("-spec pins the grid; -%s cannot override it (edit the document instead)", f.Name)
 			}
 		})
 	}
 
 	if gridMode {
-		spec := buildSpec(*specFile, *algos, *ns, *ks, *patterns, *trials, *seed)
+		spec := buildSpec(*specFile, *algos, *ns, *ks, *patterns, *channels, *trials, *seed)
 		spec.Workers, spec.Batch = *workers, *batch
 		runGrid(spec, *shardArg, *dumpSpec, *format, *outFile)
 		return
@@ -145,7 +148,7 @@ func main() {
 
 // buildSpec assembles the sweep spec from a spec document file or from the
 // axis flags.
-func buildSpec(specFile, algos, ns, ks, patterns string, trials int, seed uint64) sweep.Spec {
+func buildSpec(specFile, algos, ns, ks, patterns, channels string, trials int, seed uint64) sweep.Spec {
 	if specFile != "" {
 		data, err := os.ReadFile(specFile)
 		if err != nil {
@@ -170,6 +173,10 @@ func buildSpec(specFile, algos, ns, ks, patterns string, trials int, seed uint64
 	if err != nil {
 		fail("%v", err)
 	}
+	chAxis, err := sweep.ChannelsByName(channels)
+	if err != nil {
+		fail("-channels: %v", err)
+	}
 	nAxis, err := sweep.ParseInts(ns)
 	if err != nil {
 		fail("-ns: %v", err)
@@ -185,6 +192,7 @@ func buildSpec(specFile, algos, ns, ks, patterns string, trials int, seed uint64
 		Name:     "custom",
 		Cases:    cases,
 		Patterns: gens,
+		Channels: chAxis,
 		Ns:       nAxis,
 		Ks:       kAxis,
 		Trials:   trials,

@@ -13,6 +13,7 @@
 //	wakeup-sim -algo wakeupc -n 256 -k 3 -render
 //	wakeup-sim -algo wakeupc,rpd -n 256,1024 -k 2,8,32 -trials 5 -format csv
 //	wakeup-sim -patterns spoiler,swap            # white-box adversary cells
+//	wakeup-sim -channels none,noisy:0.05 -trials 10   # channel-model axis
 //	wakeup-sim -algo all -trials 10 -dump-spec   # grid → spec document
 package main
 
@@ -37,6 +38,7 @@ func main() {
 		s        = flag.Int64("s", 0, "first wake-up slot")
 		patList  = flag.String("pattern", "simultaneous", "wake pattern entries, comma-separated: simultaneous | staggered | uniform | bursts | spoiler | swap (see -patterns grammar)")
 		patAlias = flag.String("patterns", "", "alias for -pattern")
+		chList   = flag.String("channels", "", "channel-model entries, comma-separated: none | cd | sender_cd | ack | noisy:<p> | jam:<q>; empty keeps the paper channel and omits the channel axis")
 		gap      = flag.Int64("gap", 7, "gap for staggered/bursts patterns")
 		width    = flag.Int64("width", 64, "window width for the uniform pattern")
 		seed     = flag.Uint64("seed", 1, "random seed (schedules and pattern)")
@@ -64,13 +66,22 @@ func main() {
 	}
 	algos := strings.Split(*algoList, ",")
 	pats := strings.Split(*patList, ",")
+	channels, err := sweep.ChannelsByName(*chList)
+	if err != nil {
+		fail("-channels: %v", err)
+	}
 
-	gridMode := *dumpSpec || *trials > 1 || len(ns) > 1 || len(ks) > 1 || len(algos) > 1 || len(pats) > 1
+	gridMode := *dumpSpec || *trials > 1 || len(ns) > 1 || len(ks) > 1 ||
+		len(algos) > 1 || len(pats) > 1 || len(channels) > 1
 	if gridMode {
-		runGrid(algos, pats, ns, ks, *trials, *seed, *workers, *batch, *format, *dumpSpec, *s, *gap, *width)
+		runGrid(algos, pats, channels, ns, ks, *trials, *seed, *workers, *batch, *format, *dumpSpec, *s, *gap, *width)
 		return
 	}
-	runSingle(algos[0], pats[0], ns[0], ks[0], *s, *gap, *width, *seed, *horizon, *showTr, *render)
+	var ch model.ChannelModel
+	if len(channels) == 1 {
+		ch = channels[0]
+	}
+	runSingle(algos[0], pats[0], ch, ns[0], ks[0], *s, *gap, *width, *seed, *horizon, *showTr, *render)
 }
 
 // caseEntries rewrites the -algo list into registry entries: "all" expands
@@ -98,7 +109,7 @@ func caseEntries(algos []string, s int64) []string {
 }
 
 // runGrid executes the cross product through the sweep orchestrator.
-func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
+func runGrid(algos, pats []string, channels []model.ChannelModel, ns, ks []int, trials int, seed uint64,
 	workers, batch int, format string, dumpSpec bool, s, gap, width int64) {
 
 	cases, err := sweep.CasesByName(strings.Join(caseEntries(algos, s), ","))
@@ -113,6 +124,7 @@ func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
 		Name:     "wakeup-sim",
 		Cases:    cases,
 		Patterns: gens,
+		Channels: channels,
 		Ns:       ns,
 		Ks:       ks,
 		Trials:   trials,
@@ -152,8 +164,8 @@ func runGrid(algos, pats []string, ns, ks []int, trials int, seed uint64,
 }
 
 // runSingle preserves the classic one-instance output with transcript and
-// matrix renderings.
-func runSingle(algoName, pattern string, n, k int, s, gap, width int64,
+// matrix renderings. ch is the channel model (nil for the paper default).
+func runSingle(algoName, pattern string, ch model.ChannelModel, n, k int, s, gap, width int64,
 	seed uint64, horizon int64, showTr, render bool) {
 
 	if k < 1 || k > n {
@@ -206,16 +218,20 @@ func runSingle(algoName, pattern string, n, k int, s, gap, width int64,
 	}
 	gen := gens[0]
 	// White-box families (spoiler, swap) build their pattern against the
-	// selected algorithm; black-box families draw from (n, k, seed).
-	w := gen.Pattern(algo, p, k, hor, seed)
+	// selected algorithm and channel model; black-box families draw from
+	// (n, k, seed).
+	w := gen.Pattern(algo, p, k, hor, seed, ch)
 
 	fmt.Printf("algorithm : %s\n", algo.Name())
 	fmt.Printf("universe  : n=%d, k=%d awake\n", n, k)
 	fmt.Printf("pattern   : %s  ids=%v wakes=%v\n", gen.Name, w.IDs, w.Wakes)
+	if ch != nil {
+		fmt.Printf("channel   : %s\n", ch.Name())
+	}
 	fmt.Printf("horizon   : %d slots\n", hor)
 
-	res, ch, err := sim.Run(algo, p, w, sim.Options{
-		Horizon: hor, Seed: seed, RecordTrace: showTr,
+	res, runCh, err := sim.Run(algo, p, w, sim.Options{
+		Horizon: hor, Seed: seed, RecordTrace: showTr, Channel: ch,
 	})
 	if err != nil {
 		fail("run: %v", err)
@@ -224,11 +240,13 @@ func runSingle(algoName, pattern string, n, k int, s, gap, width int64,
 	if res.Succeeded {
 		fmt.Printf("rounds    : %d (t−s, the paper's cost measure)\n", res.Rounds)
 	}
+	fmt.Printf("energy    : %d (%d transmissions + %d listening slots)\n",
+		res.Energy(), res.Transmissions, res.Listens)
 
 	if showTr {
 		fmt.Println("\ntranscript:")
 		fmt.Println(trace.Legend())
-		fmt.Println(trace.Timeline(ch.Trace(), 100))
+		fmt.Println(trace.Timeline(runCh.Trace(), 100))
 	}
 
 	if render {

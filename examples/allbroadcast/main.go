@@ -43,7 +43,7 @@ func main() {
 	tree := nsmac.NewTreeCD()
 	pT := nsmac.Params{N: n, S: -1, Seed: 77}
 	allT, err := nsmac.RunAll(tree, pT, w, nsmac.RunOptions{
-		Horizon: 20000, Feedback: nsmac.CollisionDetection, Seed: 77,
+		Horizon: 20000, Channel: nsmac.ChannelCD(), Seed: 77,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -37,10 +37,13 @@ type Generator struct {
 	// Nil for white-box families.
 	Generate func(n, k int, seed uint64) model.WakePattern
 	// VsAlgo draws a wake pattern against the algorithm under test (with
-	// the knowledge p it will be granted and the horizon it will be given).
-	// The pattern wakes at most k stations — white-box adversaries may
-	// spend less than their budget. Nil for black-box families.
-	VsAlgo func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64) model.WakePattern
+	// the knowledge p it will be granted, the horizon it will be given, and
+	// the channel model ch the run will use — nil means the paper default).
+	// White-box adversaries predict the run through the channel model: a
+	// slot the model erases or jams is not worth attacking. The pattern
+	// wakes at most k stations — white-box adversaries may spend less than
+	// their budget. Nil for black-box families.
+	VsAlgo func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64, ch model.ChannelModel) model.WakePattern
 }
 
 // ref builds the canonical wire name for a family configuration: the family
@@ -61,10 +64,12 @@ func ref(name string, arg int64, hasArg bool, start int64) string {
 func (g Generator) WhiteBox() bool { return g.VsAlgo != nil }
 
 // Pattern draws the family's pattern for one trial, dispatching between the
-// black-box and white-box constructors.
-func (g Generator) Pattern(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64) model.WakePattern {
+// black-box and white-box constructors. ch is the channel model the run will
+// use (nil for the paper default); black-box families ignore it, white-box
+// families predict through it.
+func (g Generator) Pattern(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64, ch model.ChannelModel) model.WakePattern {
 	if g.VsAlgo != nil {
-		return g.VsAlgo(algo, p, k, horizon, seed)
+		return g.VsAlgo(algo, p, k, horizon, seed, ch)
 	}
 	return g.Generate(p.N, k, seed)
 }
@@ -167,7 +172,7 @@ func WorstOf(algo model.Algorithm, p model.Params, gens []Generator,
 	var worstPat model.WakePattern
 	for _, g := range gens {
 		for sd := 0; sd < seeds; sd++ {
-			w := g.Pattern(algo, p, k, horizon, rng.Derive(p.Seed, uint64(sd)+uint64(len(g.Name))<<32))
+			w := g.Pattern(algo, p, k, horizon, rng.Derive(p.Seed, uint64(sd)+uint64(len(g.Name))<<32), nil)
 			res, _, err := sim.Run(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed})
 			if err != nil {
 				continue // knowledge-inconsistent generator for these params
@@ -214,6 +219,14 @@ type SwapResult struct {
 // When greedy is true, each step tries every available y and keeps the one
 // maximizing the next first-success round (a stronger but slower probe).
 func Swap(algo model.Algorithm, p model.Params, k int, horizon int64, greedy bool) SwapResult {
+	return SwapVs(algo, p, k, horizon, greedy, nil)
+}
+
+// SwapVs is Swap against an explicit channel model (nil selects the paper
+// default): every probe simulation runs under ch, so the witness search
+// maximizes the first-success round of the channel the pattern will actually
+// be replayed on — under jamming or noise the worst witness set can differ.
+func SwapVs(algo model.Algorithm, p model.Params, k int, horizon int64, greedy bool, ch model.ChannelModel) SwapResult {
 	n := p.N
 	if k < 1 || k > n {
 		panic("adversary: Swap requires 1 <= k <= n")
@@ -237,7 +250,7 @@ func Swap(algo model.Algorithm, p model.Params, k int, horizon int64, greedy boo
 
 	simulate := func(set []int) (int64, int, bool) {
 		w := model.Simultaneous(set, 0)
-		r, _, err := sim.Run(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed})
+		r, _, err := sim.Run(algo, p, w, sim.Options{Horizon: horizon, Seed: p.Seed, Channel: ch})
 		if err != nil || !r.Succeeded {
 			return horizon, 0, false
 		}

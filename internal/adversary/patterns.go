@@ -20,9 +20,9 @@ func SpoilerPattern() Generator {
 	return Generator{
 		Name: "spoiler",
 		Ref:  "spoiler",
-		VsAlgo: func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64) model.WakePattern {
+		VsAlgo: func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64, ch model.ChannelModel) model.WakePattern {
 			firstID := 1 + rng.New(seed).Intn(p.N)
-			return SpoilerFrom(algo, p, k, horizon, firstID).Pattern
+			return SpoilerVs(algo, p, k, horizon, firstID, ch).Pattern
 		},
 	}
 }
@@ -40,11 +40,11 @@ func SwapPattern(greedy bool) Generator {
 	return Generator{
 		Name: name,
 		Ref:  wire,
-		VsAlgo: func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64) model.WakePattern {
+		VsAlgo: func(algo model.Algorithm, p model.Params, k int, horizon int64, seed uint64, ch model.ChannelModel) model.WakePattern {
 			// The search keys its initial set and its replayed simulations
 			// off p.Seed, which the sweep derives per trial — the extra seed
 			// diversifies nothing further here.
-			res := Swap(algo, p, k, horizon, greedy)
+			res := SwapVs(algo, p, k, horizon, greedy, ch)
 			return model.Simultaneous(res.Witness, 0)
 		},
 	}

@@ -18,7 +18,7 @@ func TestSpoilerPatternGenerator(t *testing.T) {
 	if !g.WhiteBox() || g.Generate != nil {
 		t.Fatal("spoiler generator must be white-box only")
 	}
-	w := g.Pattern(abl, p, k, horizon, 42)
+	w := g.Pattern(abl, p, k, horizon, 42, nil)
 	if err := w.Validate(n); err != nil {
 		t.Fatalf("spoiler pattern invalid: %v", err)
 	}
@@ -26,16 +26,16 @@ func TestSpoilerPatternGenerator(t *testing.T) {
 		t.Fatalf("spoiler woke %d stations, budget %d", w.K(), k)
 	}
 	// Determinism in (algo, p, k, horizon, seed).
-	w2 := g.Pattern(abl, p, k, horizon, 42)
+	w2 := g.Pattern(abl, p, k, horizon, 42, nil)
 	for i := range w.IDs {
 		if w.IDs[i] != w2.IDs[i] || w.Wakes[i] != w2.Wakes[i] {
 			t.Fatal("spoiler generator not deterministic")
 		}
 	}
 	// Different seeds probe different initial stations (almost surely).
-	w3 := g.Pattern(abl, p, k, horizon, 43)
+	w3 := g.Pattern(abl, p, k, horizon, 43, nil)
 	if w3.IDs[0] == w.IDs[0] {
-		w3 = g.Pattern(abl, p, k, horizon, 44)
+		w3 = g.Pattern(abl, p, k, horizon, 44, nil)
 		if w3.IDs[0] == w.IDs[0] {
 			t.Error("seed does not move the spoiler's initial station")
 		}
@@ -73,7 +73,7 @@ func TestSwapPatternGenerator(t *testing.T) {
 	if !g.WhiteBox() {
 		t.Fatal("swap generator must be white-box")
 	}
-	w := g.Pattern(rr, p, k, horizon, 0)
+	w := g.Pattern(rr, p, k, horizon, 0, nil)
 	if err := w.Validate(n); err != nil {
 		t.Fatalf("swap witness pattern invalid: %v", err)
 	}
@@ -102,7 +102,7 @@ func TestSwapPatternSurvivesInstantWinners(t *testing.T) {
 	// valid pattern. k = n pins the explored set to the full universe.
 	n := 4
 	p := model.Params{N: n, S: -1, Seed: 1}
-	w := SwapPattern(false).Pattern(onlyOne{}, p, n, 10, 0)
+	w := SwapPattern(false).Pattern(onlyOne{}, p, n, 10, 0, nil)
 	if err := w.Validate(n); err != nil {
 		t.Fatalf("instant-winner witness invalid: %v", err)
 	}

@@ -41,6 +41,21 @@ func Spoiler(algo model.Algorithm, p model.Params, k int, horizon int64) Spoiler
 // algorithms the initial station's round-robin slot bounds the attack, so
 // picking a station whose residue comes up late probes the worst case.
 func SpoilerFrom(algo model.Algorithm, p model.Params, k int, horizon int64, firstID int) SpoilerResult {
+	return SpoilerVs(algo, p, k, horizon, firstID, nil)
+}
+
+// SpoilerVs is SpoilerFrom against an explicit channel model (nil selects
+// the paper default). The adversary predicts each slot THROUGH the model,
+// replaying the channel's perturbation stream exactly as the engine will
+// (rng.Derive(p.Seed, model.ChannelStream), one draw per non-silent slot):
+// a would-be success the channel erases or jams needs no spoiler, so the
+// budget is spent only on slots that would actually resolve the run. The
+// prediction is exact when the pattern is replayed with Options.Seed ==
+// p.Seed and Options.Channel == ch — the sweep's white-box cells do exactly
+// that. Spoiling a slot turns its success into a collision, which consumes
+// the same single perturbation draw, so prediction and replay stay in
+// lockstep on every later slot too.
+func SpoilerVs(algo model.Algorithm, p model.Params, k int, horizon int64, firstID int, ch model.ChannelModel) SpoilerResult {
 	n := p.N
 	if k < 1 || k > n {
 		panic("adversary: Spoiler requires 1 <= k <= n")
@@ -48,6 +63,12 @@ func SpoilerFrom(algo model.Algorithm, p model.Params, k int, horizon int64, fir
 	if firstID < 1 || firstID > n {
 		panic("adversary: Spoiler firstID out of range")
 	}
+	if ch == nil {
+		ch = model.None()
+	}
+	perturb, _ := ch.(model.SlotPerturber)
+	var cs model.ChannelState
+	cs.Reset(rng.Derive(p.Seed, model.ChannelStream))
 
 	type act struct {
 		id int
@@ -77,7 +98,22 @@ func SpoilerFrom(algo model.Algorithm, p model.Params, k int, horizon int64, fir
 				transmitters++
 			}
 		}
-		if transmitters == 1 && budget > 0 {
+		// Predict the slot's effective outcome through the channel model
+		// BEFORE deciding whether to attack: a slot the channel erases or
+		// jams on its own is already lost and must not cost spoiler budget.
+		var truth model.Feedback
+		switch transmitters {
+		case 0:
+			truth = model.Silence
+		case 1:
+			truth = model.Success
+		default:
+			truth = model.Collision
+		}
+		if perturb != nil {
+			truth = perturb.Perturb(truth, &cs)
+		}
+		if truth == model.Success && budget > 0 {
 			// Try to spoil: find a fresh station that, woken AT t, would
 			// also transmit at t. Deterministic schedules make this a pure
 			// lookup.
@@ -91,14 +127,14 @@ func SpoilerFrom(algo model.Algorithm, p model.Params, k int, horizon int64, fir
 					active = append(active, act{id: y, f: fy})
 					pattern.IDs = append(pattern.IDs, y)
 					pattern.Wakes = append(pattern.Wakes, t)
-					transmitters++
+					truth = model.Collision
 					budget--
 					res.Spoiled++
 					break
 				}
 			}
 		}
-		if transmitters == 1 {
+		if truth == model.Success {
 			res.Rounds = t
 			res.Succeeded = true
 			res.Pattern = pattern

@@ -4,10 +4,13 @@
 //
 // The channel is deliberately dumb — it owns no station logic. Each slot the
 // simulator hands it the set of transmitting stations; the channel rules on
-// the outcome (silence / success / collision), records statistics and an
-// optional bounded transcript, and reports what listening stations hear
-// under the configured feedback model (the paper's model maps collisions to
-// silence; the CD variant passes them through for the TreeCD extension).
+// the outcome (silence / success / collision), applies the configured
+// model.ChannelModel — which may perturb the slot (erasure noise, jamming)
+// from the run's derived channel RNG stream — records statistics and an
+// optional bounded transcript, and answers, per station, what that station
+// hears under the model's feedback regime (the paper's model maps collisions
+// to silence for everyone; richer and poorer regimes — full CD, sender-only
+// CD, acknowledgement-only — filter by the station's role in the slot).
 package channel
 
 import (
@@ -22,7 +25,8 @@ type Event struct {
 	Slot int64
 	// Transmitters are the stations that transmitted (sorted as handed in).
 	Transmitters []int
-	// Truth is the ground-truth outcome of the slot.
+	// Truth is the effective outcome of the slot (after any model
+	// perturbation — a jammed success records as a collision).
 	Truth model.Feedback
 	// Winner is the successful transmitter (0 unless Truth == Success).
 	Winner int
@@ -46,9 +50,11 @@ const maxTrace = 1 << 16
 
 // Channel arbitrates slots and accumulates statistics.
 type Channel struct {
-	feedback model.FeedbackModel
-	record   bool
-	trace    []Event
+	model   model.ChannelModel
+	perturb model.SlotPerturber // cached capability; nil for inert models
+	state   model.ChannelState
+	record  bool
+	trace   []Event
 
 	slots      int64
 	successes  int64
@@ -56,29 +62,42 @@ type Channel struct {
 	silences   int64
 }
 
-// New returns a channel with the given feedback model. If record is true a
-// bounded transcript of events is kept.
-func New(fm model.FeedbackModel, record bool) *Channel {
-	return &Channel{feedback: fm, record: record}
+// New returns a channel with the given model (nil selects the paper default,
+// model.None). If record is true a bounded transcript of events is kept.
+// Perturbing models (noisy, jam) draw from the zero seed until Reset hands
+// the channel its run's derived stream.
+func New(m model.ChannelModel, record bool) *Channel {
+	c := &Channel{}
+	c.Reset(m, record, 0)
+	return c
 }
 
 // Reset reconfigures the channel for a new run, recycling the transcript
 // buffer and zeroing the statistics instead of reallocating. It is the
 // engine-pool hook: a pooled simulation engine calls Reset between trials so
-// a trial costs no channel allocations.
-func (c *Channel) Reset(fm model.FeedbackModel, record bool) {
-	c.feedback = fm
+// a trial costs no channel allocations. A nil model selects model.None;
+// seed keys the model's perturbation stream (the engine derives it from the
+// run seed via model.ChannelStream).
+func (c *Channel) Reset(m model.ChannelModel, record bool, seed uint64) {
+	if m == nil {
+		m = model.None()
+	}
+	c.model = m
+	c.perturb, _ = m.(model.SlotPerturber)
+	c.state.Reset(seed)
 	c.record = record
 	c.trace = c.trace[:0]
 	c.slots, c.successes, c.collisions, c.silences = 0, 0, 0, 0
 }
 
-// FeedbackModel returns the configured feedback regime.
-func (c *Channel) FeedbackModel() model.FeedbackModel { return c.feedback }
+// Model returns the configured channel model.
+func (c *Channel) Model() model.ChannelModel { return c.model }
 
 // Resolve rules on one slot given the transmitting stations. It returns the
-// ground-truth outcome and the winner ID (0 unless success). Use Observed
-// to translate truth into what stations hear.
+// slot's effective outcome — the physical outcome of the transmissions, run
+// through the model's perturbation (noise may erase it, jamming may collide
+// it) — and the winner ID (0 unless success). Use Deliver to translate the
+// outcome into what a particular station hears.
 func (c *Channel) Resolve(slot int64, transmitters []int) (model.Feedback, int) {
 	c.slots++
 	var truth model.Feedback
@@ -86,13 +105,24 @@ func (c *Channel) Resolve(slot int64, transmitters []int) (model.Feedback, int) 
 	switch len(transmitters) {
 	case 0:
 		truth = model.Silence
-		c.silences++
 	case 1:
 		truth = model.Success
 		winner = transmitters[0]
-		c.successes++
 	default:
 		truth = model.Collision
+	}
+	if c.perturb != nil {
+		truth = c.perturb.Perturb(truth, &c.state)
+		if truth != model.Success {
+			winner = 0
+		}
+	}
+	switch truth {
+	case model.Silence:
+		c.silences++
+	case model.Success:
+		c.successes++
+	default:
 		c.collisions++
 	}
 	if c.record && len(c.trace) < maxTrace {
@@ -102,10 +132,19 @@ func (c *Channel) Resolve(slot int64, transmitters []int) (model.Feedback, int) 
 	return truth, winner
 }
 
-// Observed maps a ground-truth outcome to the feedback heard by stations
-// under this channel's feedback model.
+// Deliver maps a slot's effective outcome to the feedback heard by one
+// station under this channel's model, given the station's role in the slot:
+// whether it transmitted, and whether it was the successful transmitter.
+func (c *Channel) Deliver(truth model.Feedback, transmitted, won bool) model.Feedback {
+	return c.model.Deliver(truth, transmitted, won)
+}
+
+// Observed maps a slot outcome to what a pure listener hears.
+//
+// Deprecated: use Deliver, which carries the station's role — required for
+// the sender_cd and ack regimes.
 func (c *Channel) Observed(truth model.Feedback) model.Feedback {
-	return c.feedback.Observe(truth)
+	return c.model.Deliver(truth, false, false)
 }
 
 // Trace returns the recorded transcript (empty unless recording was

@@ -8,7 +8,7 @@ import (
 )
 
 func TestResolveOutcomes(t *testing.T) {
-	c := New(model.NoCollisionDetection, false)
+	c := New(model.None(), false)
 
 	truth, winner := c.Resolve(0, nil)
 	if truth != model.Silence || winner != 0 {
@@ -31,23 +31,111 @@ func TestResolveOutcomes(t *testing.T) {
 	}
 }
 
-func TestObservedFollowsFeedbackModel(t *testing.T) {
-	noCD := New(model.NoCollisionDetection, false)
+func TestDeliverFollowsChannelModel(t *testing.T) {
+	noCD := New(model.None(), false)
 	if noCD.Observed(model.Collision) != model.Silence {
 		t.Error("no-CD channel leaked collision feedback")
 	}
-	cd := New(model.CollisionDetection, false)
+	cd := New(model.CD(), false)
 	if cd.Observed(model.Collision) != model.Collision {
 		t.Error("CD channel suppressed collision feedback")
 	}
-	if noCD.FeedbackModel() != model.NoCollisionDetection ||
-		cd.FeedbackModel() != model.CollisionDetection {
-		t.Error("FeedbackModel accessor wrong")
+	if noCD.Model().Name() != "none" || cd.Model().Name() != "cd" {
+		t.Error("Model accessor wrong")
+	}
+	// A nil model is the paper default.
+	if def := New(nil, false); def.Model().Name() != "none" {
+		t.Errorf("nil model resolved to %q, want none", def.Model().Name())
+	}
+
+	// Role-dependent delivery: under sender_cd only the transmitter learns
+	// of the collision; under ack only the winner hears the success.
+	scd := New(model.SenderCD(), false)
+	if scd.Deliver(model.Collision, true, false) != model.Collision {
+		t.Error("sender_cd hid the collision from its transmitter")
+	}
+	if scd.Deliver(model.Collision, false, false) != model.Silence {
+		t.Error("sender_cd leaked the collision to a listener")
+	}
+	ack := New(model.Ack(), false)
+	if ack.Deliver(model.Success, true, true) != model.Success {
+		t.Error("ack hid the success from its sender")
+	}
+	if ack.Deliver(model.Success, false, false) != model.Silence {
+		t.Error("ack leaked the success to a listener")
+	}
+}
+
+// TestPerturbingChannel drives the noisy and jam models through Resolve:
+// outcomes, counters and winners must reflect the effective (perturbed)
+// slot, and identical seeds must reproduce identical perturbations.
+func TestPerturbingChannel(t *testing.T) {
+	// noisy:1 erases every non-silent slot.
+	c := New(model.Noisy(1), true)
+	if truth, winner := c.Resolve(0, []int{7}); truth != model.Silence || winner != 0 {
+		t.Errorf("noisy:1 solo slot = (%v,%d), want erased", truth, winner)
+	}
+	if truth, _ := c.Resolve(1, []int{1, 2}); truth != model.Silence {
+		t.Errorf("noisy:1 collision slot = %v, want erased", truth)
+	}
+	if c.Silences() != 2 || c.Successes() != 0 || c.Collisions() != 0 {
+		t.Errorf("noisy counters: succ=%d coll=%d sil=%d", c.Successes(), c.Collisions(), c.Silences())
+	}
+	if tr := c.Trace(); len(tr) != 2 || tr[0].Truth != model.Silence || tr[0].Winner != 0 {
+		t.Errorf("trace records physical truth, want effective: %+v", tr)
+	}
+
+	// noisy:0 never perturbs.
+	c.Reset(model.Noisy(0), false, 9)
+	if truth, winner := c.Resolve(0, []int{7}); truth != model.Success || winner != 7 {
+		t.Errorf("noisy:0 solo slot = (%v,%d)", truth, winner)
+	}
+
+	// jam:q collides the first q successes, then runs dry.
+	c.Reset(model.Jam(2), false, 9)
+	for i := int64(0); i < 2; i++ {
+		if truth, winner := c.Resolve(i, []int{3}); truth != model.Collision || winner != 0 {
+			t.Fatalf("jam slot %d = (%v,%d), want collision", i, truth, winner)
+		}
+	}
+	if truth, winner := c.Resolve(2, []int{3}); truth != model.Success || winner != 3 {
+		t.Errorf("exhausted jammer still jamming: (%v,%d)", truth, winner)
+	}
+	if c.Collisions() != 2 || c.Successes() != 1 {
+		t.Errorf("jam counters: coll=%d succ=%d", c.Collisions(), c.Successes())
+	}
+
+	// Identical seeds reproduce identical noise; different seeds diverge
+	// somewhere over enough slots.
+	outcomes := func(seed uint64) []model.Feedback {
+		ch := New(nil, false)
+		ch.Reset(model.Noisy(0.5), false, seed)
+		out := make([]model.Feedback, 64)
+		for i := range out {
+			out[i], _ = ch.Resolve(int64(i), []int{5})
+		}
+		return out
+	}
+	a, b := outcomes(42), outcomes(42)
+	diverged := false
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at slot %d", i)
+		}
+	}
+	for i, fb := range outcomes(43) {
+		if fb != a[i] {
+			diverged = true
+			break
+		}
+	}
+	if !diverged {
+		t.Error("noise ignores the seed")
 	}
 }
 
 func TestTraceRecording(t *testing.T) {
-	c := New(model.NoCollisionDetection, true)
+	c := New(model.None(), true)
 	c.Resolve(10, []int{1, 2})
 	c.Resolve(11, nil)
 	c.Resolve(12, []int{5})
@@ -63,7 +151,7 @@ func TestTraceRecording(t *testing.T) {
 	}
 	// Transmitter slice must be a copy, immune to caller reuse.
 	buf := []int{1, 2}
-	c2 := New(model.NoCollisionDetection, true)
+	c2 := New(model.None(), true)
 	c2.Resolve(0, buf)
 	buf[0] = 99
 	if c2.Trace()[0].Transmitters[0] == 99 {
@@ -72,7 +160,7 @@ func TestTraceRecording(t *testing.T) {
 }
 
 func TestTraceDisabled(t *testing.T) {
-	c := New(model.NoCollisionDetection, false)
+	c := New(model.None(), false)
 	c.Resolve(0, []int{1})
 	if c.Trace() != nil {
 		t.Error("trace recorded despite record=false")
@@ -80,7 +168,7 @@ func TestTraceDisabled(t *testing.T) {
 }
 
 func TestTraceBounded(t *testing.T) {
-	c := New(model.NoCollisionDetection, true)
+	c := New(model.None(), true)
 	for i := int64(0); i < maxTrace+100; i++ {
 		c.Resolve(i, nil)
 	}
@@ -96,7 +184,7 @@ func TestTraceTruncationBoundary(t *testing.T) {
 	// Fill the transcript exactly to the cap, then push events of every
 	// outcome past it: the trace must keep the first maxTrace events (last
 	// kept slot is maxTrace-1) while every statistics counter keeps counting.
-	c := New(model.NoCollisionDetection, true)
+	c := New(model.None(), true)
 	for i := int64(0); i < maxTrace; i++ {
 		c.Resolve(i, nil)
 	}
@@ -120,7 +208,7 @@ func TestTraceTruncationBoundary(t *testing.T) {
 }
 
 func TestResetRecyclesChannel(t *testing.T) {
-	c := New(model.NoCollisionDetection, true)
+	c := New(model.None(), true)
 	c.Resolve(0, []int{1, 2})
 	c.Resolve(1, []int{5})
 	c.Resolve(2, nil)
@@ -128,7 +216,7 @@ func TestResetRecyclesChannel(t *testing.T) {
 		t.Fatalf("setup run wrong: slots=%d trace=%d", c.Slots(), len(c.Trace()))
 	}
 
-	c.Reset(model.CollisionDetection, true)
+	c.Reset(model.CD(), true, 0)
 	if c.Slots() != 0 || c.Successes() != 0 || c.Collisions() != 0 || c.Silences() != 0 {
 		t.Errorf("Reset left counters: slots=%d succ=%d coll=%d sil=%d",
 			c.Slots(), c.Successes(), c.Collisions(), c.Silences())
@@ -136,8 +224,8 @@ func TestResetRecyclesChannel(t *testing.T) {
 	if len(c.Trace()) != 0 {
 		t.Errorf("Reset left %d trace events", len(c.Trace()))
 	}
-	if c.FeedbackModel() != model.CollisionDetection {
-		t.Error("Reset did not switch the feedback model")
+	if c.Model().Name() != "cd" {
+		t.Error("Reset did not switch the channel model")
 	}
 	if c.Observed(model.Collision) != model.Collision {
 		t.Error("feedback model not live after Reset")
@@ -151,7 +239,7 @@ func TestResetRecyclesChannel(t *testing.T) {
 	}
 
 	// Reset with recording off: no new events are kept.
-	c.Reset(model.NoCollisionDetection, false)
+	c.Reset(model.None(), false, 0)
 	c.Resolve(0, []int{1})
 	if len(c.Trace()) != 0 {
 		t.Error("non-recording channel kept events after Reset")

@@ -341,7 +341,7 @@ func TestTreeCDResolvesSimultaneousStart(t *testing.T) {
 		w := model.Simultaneous(rng.New(uint64(k)).Sample(n, k), 0)
 		res, _, err := sim.Run(a, p, w, sim.Options{
 			Horizon: a.Horizon(n, k), Adaptive: true,
-			Feedback: model.CollisionDetection,
+			Channel: model.CD(),
 		})
 		if err != nil {
 			t.Fatal(err)
@@ -362,7 +362,7 @@ func TestTreeCDEnumeratesAll(t *testing.T) {
 	ids := rng.New(4).Sample(n, k)
 	w := model.Simultaneous(ids, 0)
 	all, err := sim.RunAll(a, p, w, sim.Options{
-		Horizon: 4 * a.Horizon(n, k), Feedback: model.CollisionDetection,
+		Horizon: 4 * a.Horizon(n, k), Channel: model.CD(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -398,7 +398,7 @@ func TestTreeCDWithoutCDFails(t *testing.T) {
 	w := model.Simultaneous([]int{1, 2}, 0)
 	res, _, err := sim.Run(a, p, w, sim.Options{
 		Horizon: a.Horizon(n, 2), Adaptive: true,
-		Feedback: model.NoCollisionDetection,
+		Channel: model.None(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -7,8 +7,10 @@ import (
 
 // TreeCD is the classic Capetanakis/Hayes/Tsybakov binary-splitting
 // contention-resolution algorithm, the standard contrast model the paper's
-// introduction cites (§1, ref [4]). It REQUIRES collision detection and
-// simultaneous wake-up: every awake station replays the same depth-first
+// introduction cites (§1, ref [4]). It REQUIRES collision detection — run it
+// with Options.Channel = model.CD() (or the richer regimes that still
+// deliver collisions to listeners) — and simultaneous wake-up: every awake
+// station replays the same depth-first
 // traversal of the ID-interval tree driven solely by the broadcast
 // feedback, so all stations' stacks stay identical.
 //
@@ -30,7 +32,7 @@ func (TreeCD) Name() string { return "tree_cd" }
 // Build implements model.Algorithm. TreeCD is feedback-driven; the
 // non-adaptive entry point cannot express it.
 func (TreeCD) Build(p model.Params, id int, wake int64, _ *rng.Source) model.TransmitFunc {
-	panic("core: tree_cd is adaptive; run it with Options.Adaptive and collision detection")
+	panic("core: tree_cd is adaptive; run it with Options.Adaptive and the cd channel model")
 }
 
 // BuildAdaptive implements model.Adaptive.

@@ -144,7 +144,7 @@ func T10TreeCD(cfg Config) *Table {
 
 			if err := e.Reset(a, p, w, sim.Options{
 				Horizon: a.Horizon(n, k), Adaptive: true,
-				Feedback: model.CollisionDetection, Seed: seed,
+				Channel: model.CD(), Seed: seed,
 			}); err != nil {
 				panic(err)
 			}
@@ -155,7 +155,7 @@ func T10TreeCD(cfg Config) *Table {
 			}
 
 			all, err := sim.RunAll(a, p, w, sim.Options{
-				Horizon: 4 * a.Horizon(n, k), Feedback: model.CollisionDetection, Seed: seed,
+				Horizon: 4 * a.Horizon(n, k), Channel: model.CD(), Seed: seed,
 			})
 			if err != nil {
 				panic(err)

@@ -46,18 +46,26 @@ func (f Feedback) String() string {
 }
 
 // FeedbackModel selects how much channel feedback stations receive.
+//
+// Deprecated: the two enum values survive as aliases for the two original
+// channel regimes; the pluggable ChannelModel interface supersedes them
+// (use Model to resolve an enum value to its ChannelModel, or construct
+// models directly with None, CD, SenderCD, Ack, Noisy, Jam).
 type FeedbackModel uint8
 
 const (
 	// NoCollisionDetection is the paper's model: collisions are reported to
-	// stations as Silence.
+	// stations as Silence. Deprecated: alias for the None channel model.
 	NoCollisionDetection FeedbackModel = iota
 	// CollisionDetection lets stations distinguish Collision from Silence.
-	// Used only by the TreeCD extension baseline.
+	// Used only by the TreeCD extension baseline. Deprecated: alias for the
+	// CD channel model.
 	CollisionDetection
 )
 
 // Observe maps ground truth to what a station hears under the model.
+//
+// Deprecated: use Model().Deliver, which also carries the station's role.
 func (m FeedbackModel) Observe(truth Feedback) Feedback {
 	if m == NoCollisionDetection && truth == Collision {
 		return Silence
@@ -136,8 +144,9 @@ type AdaptiveStation interface {
 	// WillTransmit reports whether the station transmits in global slot t.
 	WillTransmit(t int64) bool
 	// Observe delivers the slot's feedback as heard by this station
-	// (already filtered through the channel's FeedbackModel), together with
-	// the ID carried by a successful message, or 0 otherwise.
+	// (already filtered through the channel's ChannelModel, which knows
+	// whether this station transmitted or won the slot), together with the
+	// ID carried by a successful message, or 0 otherwise.
 	Observe(t int64, fb Feedback, successID int)
 }
 
@@ -253,9 +262,17 @@ type Result struct {
 	Collisions int64
 	Silences   int64
 	// Transmissions counts individual transmission attempts across all
-	// stations and slots — the energy cost of the run.
+	// stations and slots.
 	Transmissions int64
+	// Listens counts listening slots: for every stepped slot, each awake,
+	// non-retired station that did not transmit spent the slot listening.
+	Listens int64
 }
+
+// Energy returns the run's total energy cost — transmissions plus listening
+// slots — the co-equal cost measure of De Marco, Kowalski & Stachowiak's
+// energy-efficient contention resolution line of work.
+func (r Result) Energy() int64 { return r.Transmissions + r.Listens }
 
 // String implements fmt.Stringer for compact logging.
 func (r Result) String() string {

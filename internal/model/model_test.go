@@ -7,11 +7,16 @@ import (
 )
 
 func TestFeedbackString(t *testing.T) {
+	// The named values, the first unknown value (the boundary right past
+	// Collision), and the extremes of the underlying uint8 all format
+	// without panicking and unambiguously.
 	cases := map[Feedback]string{
-		Silence:     "silence",
-		Success:     "success",
-		Collision:   "collision",
-		Feedback(9): "feedback(9)",
+		Silence:       "silence",
+		Success:       "success",
+		Collision:     "collision",
+		Collision + 1: "feedback(3)",
+		Feedback(9):   "feedback(9)",
+		Feedback(255): "feedback(255)",
 	}
 	for fb, want := range cases {
 		if got := fb.String(); got != want {
@@ -82,21 +87,44 @@ func TestParamsKnowledgeSwitches(t *testing.T) {
 }
 
 func TestWakePatternValidate(t *testing.T) {
-	ok := WakePattern{IDs: []int{1, 5, 10}, Wakes: []int64{3, 0, 3}}
-	if err := ok.Validate(10); err != nil {
-		t.Errorf("valid pattern rejected: %v", err)
+	good := []struct {
+		name string
+		w    WakePattern
+	}{
+		{"plain", WakePattern{IDs: []int{1, 5, 10}, Wakes: []int64{3, 0, 3}}},
+		{"boundary ids", WakePattern{IDs: []int{1, 10}, Wakes: []int64{0, 0}}},
+		{"zero wake", WakePattern{IDs: []int{7}, Wakes: []int64{0}}},
 	}
-	bad := []WakePattern{
-		{},                                       // empty
-		{IDs: []int{1}, Wakes: []int64{}},        // length mismatch
-		{IDs: []int{0}, Wakes: []int64{0}},       // id out of range
-		{IDs: []int{11}, Wakes: []int64{0}},      // id out of range
-		{IDs: []int{3, 3}, Wakes: []int64{0, 1}}, // duplicate
-		{IDs: []int{1}, Wakes: []int64{-1}},      // negative wake
+	for _, tc := range good {
+		if err := tc.w.Validate(10); err != nil {
+			t.Errorf("%s: valid pattern rejected: %v", tc.name, err)
+		}
 	}
-	for i, w := range bad {
-		if err := w.Validate(10); err == nil {
-			t.Errorf("bad pattern %d accepted", i)
+	// Each rejection must fire its OWN branch — asserted via the error text
+	// — so the duplicate-ID and negative-wake checks can't silently hide
+	// behind the range check.
+	bad := []struct {
+		name    string
+		w       WakePattern
+		wantErr string
+	}{
+		{"empty", WakePattern{}, "empty wake pattern"},
+		{"length mismatch", WakePattern{IDs: []int{1}, Wakes: []int64{}}, "1 ids but 0 wake times"},
+		{"id below range", WakePattern{IDs: []int{0}, Wakes: []int64{0}}, "out of [1,10]"},
+		{"id above range", WakePattern{IDs: []int{11}, Wakes: []int64{0}}, "out of [1,10]"},
+		{"duplicate id", WakePattern{IDs: []int{3, 3}, Wakes: []int64{0, 1}}, "duplicate station 3"},
+		{"duplicate id late", WakePattern{IDs: []int{1, 2, 2}, Wakes: []int64{0, 0, 5}}, "duplicate station 2"},
+		{"negative wake", WakePattern{IDs: []int{1}, Wakes: []int64{-1}}, "negative wake time -1"},
+		{"negative wake late", WakePattern{IDs: []int{1, 2}, Wakes: []int64{0, -7}}, "negative wake time -7"},
+	}
+	for _, tc := range bad {
+		err := tc.w.Validate(10)
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: error %q does not name its branch (want %q)", tc.name, err, tc.wantErr)
 		}
 	}
 }

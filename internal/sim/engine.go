@@ -42,7 +42,7 @@ type Engine struct {
 
 // NewEngine returns an engine ready for its first Reset.
 func NewEngine() *Engine {
-	return &Engine{ch: channel.New(model.NoCollisionDetection, false)}
+	return &Engine{ch: channel.New(nil, false)}
 }
 
 // Reset validates the inputs and prepares the engine for a new trial. The
@@ -71,7 +71,13 @@ func (e *Engine) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 	e.algo, e.p, e.opt = algo, p, opt
 	e.adaptiveAlgo, _ = algo.(model.Adaptive)
 	e.useAdaptive = opt.Adaptive && e.adaptiveAlgo != nil
-	e.ch.Reset(opt.Feedback, opt.RecordTrace)
+	chm := opt.Channel
+	if chm == nil {
+		chm = opt.Feedback.Model()
+	}
+	// The channel's perturbation stream derives from the run seed on its own
+	// stream index, independent of the per-station streams.
+	e.ch.Reset(chm, opt.RecordTrace, rng.Derive(opt.Seed, model.ChannelStream))
 
 	// Rebuild the station table in wake order (ties by ID — the same total
 	// order as model.WakePattern.Sorted) inside the reused backing array.
@@ -112,7 +118,8 @@ func (e *Engine) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 // must read it before then.
 func (e *Engine) Channel() *channel.Channel { return e.ch }
 
-// Result returns the run result accumulated so far; it is final once the
+// Result returns the run result accumulated so far — the counters (Slots
+// included) are kept accurate after every Step — and is final once the
 // engine reports done.
 func (e *Engine) Result() model.Result { return e.result }
 
@@ -155,7 +162,7 @@ func (e *Engine) step(onSuccess func(slot int64, winner int) bool) bool {
 	}
 	t := e.t
 	if t >= e.s+e.opt.Horizon {
-		e.result.Slots = e.opt.Horizon
+		// result.Slots is maintained per step and already equals Horizon.
 		e.done = true
 		return true
 	}
@@ -174,6 +181,7 @@ func (e *Engine) step(onSuccess func(slot int64, winner int) bool) bool {
 	}
 
 	e.transmitters = e.transmitters[:0]
+	listeners := int64(0)
 	for _, st := range e.active {
 		if st.retired {
 			continue
@@ -184,13 +192,17 @@ func (e *Engine) step(onSuccess func(slot int64, winner int) bool) bool {
 		} else {
 			tx = st.transmit(t)
 		}
+		st.sent = tx
 		if tx {
 			e.transmitters = append(e.transmitters, st.id)
+		} else {
+			listeners++
 		}
 	}
 
 	truth, winner := e.ch.Resolve(t, e.transmitters)
 	e.result.Transmissions += int64(len(e.transmitters))
+	e.result.Listens += listeners
 	switch truth {
 	case model.Collision:
 		e.result.Collisions++
@@ -199,25 +211,43 @@ func (e *Engine) step(onSuccess func(slot int64, winner int) bool) bool {
 	}
 
 	if e.useAdaptive {
-		observed := e.ch.Observed(truth)
-		obsWinner := 0
-		if observed == model.Success {
-			obsWinner = winner
+		// Delivery is per station — under sender_cd only transmitters learn
+		// of collisions, under ack only the winner hears the success — but
+		// it depends solely on the station's role in the slot, of which
+		// there are three. Compute each role's feedback once per slot so
+		// the model dispatch costs O(1), not O(active).
+		fbListen := e.ch.Deliver(truth, false, false)
+		fbSent := e.ch.Deliver(truth, true, false)
+		fbWon := fbSent
+		if winner != 0 {
+			fbWon = e.ch.Deliver(truth, true, true)
 		}
 		for _, st := range e.active {
-			if !st.retired {
-				st.adaptive.Observe(t, observed, obsWinner)
+			if st.retired {
+				continue
 			}
+			fb := fbListen
+			if st.sent {
+				fb = fbSent
+				if st.id == winner {
+					fb = fbWon
+				}
+			}
+			obsWinner := 0
+			if fb == model.Success {
+				obsWinner = winner
+			}
+			st.adaptive.Observe(t, fb, obsWinner)
 		}
 	}
 
 	e.t = t + 1
+	e.result.Slots = e.t - e.s
 	if truth == model.Success && (onSuccess == nil || !onSuccess(t, winner)) {
 		e.result.Succeeded = true
 		e.result.Winner = winner
 		e.result.SuccessSlot = t
 		e.result.Rounds = t - e.s
-		e.result.Slots = t - e.s + 1
 		e.done = true
 		return true
 	}

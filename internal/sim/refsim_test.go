@@ -21,12 +21,18 @@ func refRun(algo model.Algorithm, p model.Params, w model.WakePattern, horizon i
 	out := model.Result{SuccessSlot: -1, Rounds: -1}
 	for t := s; t < s+horizon; t++ {
 		var transmitters []int
+		awake := 0
 		for i, id := range w.IDs {
-			if w.Wakes[i] <= t && funcs[id](t) {
+			if w.Wakes[i] > t {
+				continue
+			}
+			awake++
+			if funcs[id](t) {
 				transmitters = append(transmitters, id)
 			}
 		}
 		out.Transmissions += int64(len(transmitters))
+		out.Listens += int64(awake - len(transmitters))
 		switch len(transmitters) {
 		case 0:
 			out.Silences++

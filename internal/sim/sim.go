@@ -26,7 +26,14 @@ type Options struct {
 	// theoretical bound for its algorithm and passes a guarded multiple of
 	// it, so silent non-termination is impossible.
 	Horizon int64
-	// Feedback selects the channel feedback regime (paper default: no CD).
+	// Channel selects the channel model (feedback regime plus optional
+	// noise/jam perturbation). Nil falls back to the deprecated Feedback
+	// enum, i.e. the paper's model.None by default.
+	Channel model.ChannelModel
+	// Feedback selects between the two original feedback regimes.
+	//
+	// Deprecated: set Channel instead; Feedback is consulted only when
+	// Channel is nil and resolves via model.FeedbackModel.Model.
 	Feedback model.FeedbackModel
 	// Adaptive runs stations via BuildAdaptive when the algorithm supports
 	// it, delivering per-slot feedback to every awake station.
@@ -45,6 +52,7 @@ type station struct {
 	transmit model.TransmitFunc
 	adaptive model.AdaptiveStation
 	retired  bool
+	sent     bool // did the station transmit in the current slot (per-slot scratch)
 }
 
 // Run simulates until the first solo transmission or until the horizon is
@@ -67,8 +75,10 @@ type AllResult struct {
 	// Succeeded is true if every station in the pattern transmitted alone
 	// before the horizon.
 	Succeeded bool
-	// Slots is the number of slots from the first wake to the last
-	// station's first solo transmission (or the horizon on failure).
+	// Slots is the number of slots the engine stepped from the first wake:
+	// up to and including the last station's first solo transmission on
+	// success, or every slot stepped before the horizon expired on failure
+	// (matching Result.Slots semantics).
 	Slots int64
 	// FirstSuccess maps station ID to the slot of its first solo
 	// transmission.
@@ -92,7 +102,6 @@ func RunAll(algo model.Algorithm, p model.Params, w model.WakePattern, opt Optio
 
 	all := AllResult{FirstSuccess: make(map[int]int64, w.K())}
 	remaining := w.K()
-	s := w.FirstWake()
 	res := e.run(func(slot int64, winner int) bool {
 		if _, seen := all.FirstSuccess[winner]; !seen {
 			all.FirstSuccess[winner] = slot
@@ -101,10 +110,10 @@ func RunAll(algo model.Algorithm, p model.Params, w model.WakePattern, opt Optio
 		return remaining > 0
 	})
 	all.Succeeded = remaining == 0
-	if all.Succeeded {
-		all.Slots = res.SuccessSlot - s + 1
-	} else {
-		all.Slots = opt.Horizon
-	}
+	// Result.Slots semantics in both arms: the slots the engine actually
+	// stepped from the first wake. On success that is the last needed
+	// success slot minus s plus one; on a timed-out run it is the stepped
+	// count itself, not a restatement of the configured horizon.
+	all.Slots = res.Slots
 	return all, nil
 }

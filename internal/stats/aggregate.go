@@ -19,11 +19,12 @@ type Aggregate struct {
 	// horizon), in insertion order. Quantiles sort a copy, so the order in
 	// which shards merged does not affect any derived statistic.
 	Rounds []float64
-	// Collisions, Silences and Transmissions total the waste and energy
-	// counters across trials.
+	// Collisions, Silences, Transmissions and Listens total the waste and
+	// energy counters across trials (energy = transmissions + listens).
 	Collisions    int64
 	Silences      int64
 	Transmissions int64
+	Listens       int64
 }
 
 // Reserve pre-sizes the rounds buffer for n upcoming trials, so feeding a
@@ -38,7 +39,7 @@ func (a *Aggregate) Reserve(n int) {
 }
 
 // AddTrial feeds one trial outcome.
-func (a *Aggregate) AddTrial(rounds float64, ok bool, collisions, silences, transmissions int64) {
+func (a *Aggregate) AddTrial(rounds float64, ok bool, collisions, silences, transmissions, listens int64) {
 	a.Trials++
 	if ok {
 		a.Successes++
@@ -47,6 +48,7 @@ func (a *Aggregate) AddTrial(rounds float64, ok bool, collisions, silences, tran
 	a.Collisions += collisions
 	a.Silences += silences
 	a.Transmissions += transmissions
+	a.Listens += listens
 }
 
 // Merge folds b into a. Counters add; round samples concatenate.
@@ -57,7 +59,13 @@ func (a *Aggregate) Merge(b Aggregate) {
 	a.Collisions += b.Collisions
 	a.Silences += b.Silences
 	a.Transmissions += b.Transmissions
+	a.Listens += b.Listens
 }
+
+// Energy returns the total energy cost across trials: transmission slots
+// plus listening slots, the co-equal cost measure of the time-and-energy
+// contention-resolution literature.
+func (a Aggregate) Energy() int64 { return a.Transmissions + a.Listens }
 
 // SuccessRate returns the fraction of trials that resolved (0 for none run).
 func (a Aggregate) SuccessRate() float64 {
@@ -89,6 +97,10 @@ type AggregateWire struct {
 	Collisions    int64     `json:"collisions"`
 	Silences      int64     `json:"silences"`
 	Transmissions int64     `json:"transmissions"`
+	// Listens extends the codec with the energy counter's second half.
+	// Backward-compatible: envelopes written before the field decode with
+	// Listens == 0.
+	Listens int64 `json:"listens"`
 }
 
 // Wire converts the aggregate to its wire form. The sample slice is copied,
@@ -101,6 +113,7 @@ func (a Aggregate) Wire() AggregateWire {
 		Collisions:    a.Collisions,
 		Silences:      a.Silences,
 		Transmissions: a.Transmissions,
+		Listens:       a.Listens,
 	}
 }
 
@@ -127,5 +140,6 @@ func (w AggregateWire) Aggregate() (Aggregate, error) {
 		Collisions:    w.Collisions,
 		Silences:      w.Silences,
 		Transmissions: w.Transmissions,
+		Listens:       w.Listens,
 	}, nil
 }

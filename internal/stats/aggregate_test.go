@@ -9,8 +9,8 @@ import (
 
 func TestAggregateAddTrial(t *testing.T) {
 	var a Aggregate
-	a.AddTrial(10, true, 2, 3, 7)
-	a.AddTrial(30, false, 1, 0, 5)
+	a.AddTrial(10, true, 2, 3, 7, 4)
+	a.AddTrial(30, false, 1, 0, 5, 2)
 	if a.Trials != 2 || a.Successes != 1 {
 		t.Errorf("counts wrong: %+v", a)
 	}
@@ -28,9 +28,9 @@ func TestAggregateAddTrial(t *testing.T) {
 
 func TestAggregateMerge(t *testing.T) {
 	var a, b Aggregate
-	a.AddTrial(1, true, 1, 0, 2)
-	b.AddTrial(3, false, 0, 4, 6)
-	b.AddTrial(5, true, 2, 1, 1)
+	a.AddTrial(1, true, 1, 0, 2, 1)
+	b.AddTrial(3, false, 0, 4, 6, 5)
+	b.AddTrial(5, true, 2, 1, 1, 3)
 	a.Merge(b)
 	if a.Trials != 3 || a.Successes != 2 {
 		t.Errorf("merged counts wrong: %+v", a)
@@ -63,7 +63,7 @@ func TestAggregateZeroValues(t *testing.T) {
 
 func TestAggregateReserve(t *testing.T) {
 	var a Aggregate
-	a.AddTrial(3, true, 0, 0, 0)
+	a.AddTrial(3, true, 0, 0, 0, 0)
 	a.Reserve(10)
 	if len(a.Rounds) != 1 || a.Rounds[0] != 3 {
 		t.Fatalf("Reserve lost samples: %v", a.Rounds)
@@ -73,7 +73,7 @@ func TestAggregateReserve(t *testing.T) {
 	}
 	base := &a.Rounds[0]
 	for i := 0; i < 10; i++ {
-		a.AddTrial(float64(i), true, 0, 0, 0)
+		a.AddTrial(float64(i), true, 0, 0, 0, 0)
 	}
 	if &a.Rounds[0] != base {
 		t.Error("reserved buffer reallocated while filling")
@@ -97,7 +97,7 @@ func TestAggregateWireRoundTrip(t *testing.T) {
 		1e300, 4503599627370497.25,
 	}
 	for i, r := range awkward {
-		a.AddTrial(r, i%2 == 0, int64(i), int64(2*i), int64(3*i))
+		a.AddTrial(r, i%2 == 0, int64(i), int64(2*i), int64(3*i), int64(4*i))
 	}
 	data, err := json.Marshal(a.Wire())
 	if err != nil {
@@ -123,8 +123,26 @@ func TestAggregateWireRoundTrip(t *testing.T) {
 	var merged Aggregate
 	merged.Merge(back)
 	merged.Merge(back)
-	if merged.Trials != 2*a.Trials || merged.Transmissions != 2*a.Transmissions {
+	if merged.Trials != 2*a.Trials || merged.Transmissions != 2*a.Transmissions ||
+		merged.Listens != 2*a.Listens {
 		t.Errorf("decoded aggregate merges wrong: %+v", merged)
+	}
+	if merged.Energy() != merged.Transmissions+merged.Listens {
+		t.Errorf("Energy() = %d, want transmissions+listens", merged.Energy())
+	}
+
+	// Backward compatibility: a pre-Listens envelope (no "listens" key)
+	// decodes with Listens == 0 and passes validation.
+	var old AggregateWire
+	if err := json.Unmarshal([]byte(`{"trials":1,"successes":1,"rounds":[2],"collisions":0,"silences":0,"transmissions":3}`), &old); err != nil {
+		t.Fatal(err)
+	}
+	dec, err := old.Aggregate()
+	if err != nil {
+		t.Fatalf("pre-listens envelope rejected: %v", err)
+	}
+	if dec.Listens != 0 || dec.Transmissions != 3 {
+		t.Errorf("pre-listens envelope decoded wrong: %+v", dec)
 	}
 }
 
@@ -132,8 +150,8 @@ func TestAggregateWireRoundTrip(t *testing.T) {
 // (hand-edited or truncated shard files).
 func TestAggregateWireValidation(t *testing.T) {
 	var a Aggregate
-	a.AddTrial(5, true, 0, 0, 0)
-	a.AddTrial(7, false, 0, 0, 0)
+	a.AddTrial(5, true, 0, 0, 0, 0)
+	a.AddTrial(7, false, 0, 0, 0, 0)
 
 	bad := a.Wire()
 	bad.Rounds = bad.Rounds[:1]
@@ -168,9 +186,9 @@ func TestAggregateWireValidation(t *testing.T) {
 // aggregate's sample buffer in either direction.
 func TestAggregateWireIsolated(t *testing.T) {
 	var a Aggregate
-	a.AddTrial(1, true, 0, 0, 0)
+	a.AddTrial(1, true, 0, 0, 0, 0)
 	w := a.Wire()
-	a.AddTrial(2, true, 0, 0, 0)
+	a.AddTrial(2, true, 0, 0, 0, 0)
 	if len(w.Rounds) != 1 {
 		t.Fatal("wire sees later trials")
 	}

@@ -166,7 +166,7 @@ func TestAggregateShardSums(t *testing.T) {
 		}
 	}
 	add := func(a *stats.Aggregate, s sweep.Sample) {
-		a.AddTrial(float64(s.Rounds), s.OK, s.Collisions, s.Silences, s.Transmissions)
+		a.AddTrial(float64(s.Rounds), s.OK, s.Collisions, s.Silences, s.Transmissions, s.Listens)
 	}
 	var whole stats.Aggregate
 	for _, s := range samples {

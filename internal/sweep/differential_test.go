@@ -24,12 +24,18 @@ func refRun(algo model.Algorithm, p model.Params, w model.WakePattern, horizon i
 	out := model.Result{SuccessSlot: -1, Rounds: -1}
 	for t := s; t < s+horizon; t++ {
 		var transmitters []int
+		awake := 0
 		for i, id := range w.IDs {
-			if w.Wakes[i] <= t && funcs[id](t) {
+			if w.Wakes[i] > t {
+				continue
+			}
+			awake++
+			if funcs[id](t) {
 				transmitters = append(transmitters, id)
 			}
 		}
 		out.Transmissions += int64(len(transmitters))
+		out.Listens += int64(awake - len(transmitters))
 		switch len(transmitters) {
 		case 0:
 			out.Silences++
@@ -61,6 +67,7 @@ func refSample(r model.Result, horizon int64) sweep.Sample {
 		Collisions:    r.Collisions,
 		Silences:      r.Silences,
 		Transmissions: r.Transmissions,
+		Listens:       r.Listens,
 		Winner:        r.Winner,
 		SuccessSlot:   r.SuccessSlot,
 	}
@@ -252,7 +259,7 @@ func TestSpecWhiteBoxPatternsMatchDirectAdversary(t *testing.T) {
 						seed := sweep.TrialSeed(spec.Seed, ci, trial)
 						algo := c.Algo(n, k)
 						p := c.Params(n, k, seed)
-						w := gen.Pattern(algo, p, k, horizon, sweep.PatternSeed(seed))
+						w := gen.Pattern(algo, p, k, horizon, sweep.PatternSeed(seed), nil)
 						if err := w.Validate(n); err != nil {
 							t.Fatalf("cell %d: white-box pattern invalid: %v", ci, err)
 						}

@@ -12,10 +12,10 @@ import (
 )
 
 // This file is the name layer of the sweep API: registries that map wire
-// names to algorithm cases and wake-pattern families, plus the entry grammar
-// that carries their parameters. Everything a SpecDoc references resolves
-// here, so a grid serialized in one process reconstructs the identical grid
-// in another as long as both registered the same names.
+// names to algorithm cases, wake-pattern families and channel models, plus
+// the entry grammar that carries their parameters. Everything a SpecDoc
+// references resolves here, so a grid serialized in one process reconstructs
+// the identical grid in another as long as both registered the same names.
 //
 // # Entry grammar
 //
@@ -23,7 +23,10 @@ import (
 // entry is `name[:arg][@start]` — "staggered:7", "uniform:64@5", "spoiler".
 // The optional ":arg" is the family's shape parameter (gap, window width,
 // scenario-A start slot, swap greediness); the optional "@start" shifts a
-// black-box pattern's first wake slot. Args are non-negative integers.
+// black-box pattern's first wake slot. Case and pattern args are
+// non-negative integers. A channel entry is `name[:arg]` — "none", "cd",
+// "sender_cd", "ack", "noisy:0.05", "jam:3" — whose argument may be a float
+// (noise probability) or an integer (jam budget).
 
 // PatternShape carries the default shape parameters a pattern entry falls
 // back to when it omits its ":arg" or "@start": Start for the first wake
@@ -53,6 +56,15 @@ type CaseFactory func(arg int64, hasArg bool) (Case, error)
 // left no trace in the wire name.
 type PatternFactory func(arg int64, hasArg bool, shape PatternShape) (adversary.Generator, error)
 
+// ChannelFactory builds a registered channel model from its optional entry
+// argument. Channel arguments are raw entry text rather than parsed
+// integers, because the family parameter may be a float (noisy:0.05) or an
+// integer budget (jam:3). The returned model's Name() is its wire ref and
+// must re-resolve to an equivalent model; factories must be deterministic in
+// their arguments and must return stateless model values (per-run state
+// lives in model.ChannelState).
+type ChannelFactory func(arg string, hasArg bool) (model.ChannelModel, error)
+
 // registries hold the name → factory maps plus registration order (for
 // error messages and docs). A mutex guards registration from init funcs of
 // multiple packages and from tests.
@@ -62,6 +74,8 @@ var (
 	caseOrder    []string
 	patternReg   = map[string]PatternFactory{}
 	patternOrder []string
+	channelReg   = map[string]ChannelFactory{}
+	channelOrder []string
 )
 
 // RegisterCase adds a named algorithm case factory to the registry, making
@@ -103,6 +117,25 @@ func RegisterPattern(name string, f PatternFactory) {
 	patternOrder = append(patternOrder, name)
 }
 
+// RegisterChannel adds a named channel-model factory to the registry, making
+// it resolvable from CLI -channels lists and SpecDoc channel entries. Same
+// contract as RegisterCase.
+func RegisterChannel(name string, f ChannelFactory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if name == "" || f == nil {
+		panic("sweep: RegisterChannel with empty name or nil factory")
+	}
+	if strings.ContainsAny(name, ":@, ") {
+		panic(fmt.Sprintf("sweep: channel name %q contains entry-grammar delimiters", name))
+	}
+	if _, dup := channelReg[name]; dup {
+		panic(fmt.Sprintf("sweep: channel %q registered twice", name))
+	}
+	channelReg[name] = f
+	channelOrder = append(channelOrder, name)
+}
+
 // CaseNames returns every registered case name in registration order.
 func CaseNames() []string {
 	regMu.Lock()
@@ -115,6 +148,13 @@ func PatternNames() []string {
 	regMu.Lock()
 	defer regMu.Unlock()
 	return append([]string(nil), patternOrder...)
+}
+
+// ChannelNames returns every registered channel name in registration order.
+func ChannelNames() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return append([]string(nil), channelOrder...)
 }
 
 // splitArg splits "name:arg" and parses the non-negative integer argument.
@@ -195,6 +235,49 @@ func ResolvePattern(entry string, shape PatternShape) (adversary.Generator, erro
 		g.Ref = entry
 	}
 	return g, nil
+}
+
+// ResolveChannel resolves one channel entry (`name[:arg]`) against the
+// registry. The returned model's Name() is its canonical wire ref; resolving
+// that ref again must yield an equivalent model (verified for sweeps by the
+// SpecDoc fingerprint round trip).
+func ResolveChannel(entry string) (model.ChannelModel, error) {
+	entry = strings.TrimSpace(entry)
+	name, arg, hasArg := strings.Cut(entry, ":")
+	regMu.Lock()
+	f, ok := channelReg[name]
+	regMu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("sweep: unknown channel %q (have %s)",
+			name, strings.Join(ChannelNames(), ", "))
+	}
+	m, err := f(arg, hasArg)
+	if err != nil {
+		return nil, err
+	}
+	if m == nil || m.Name() == "" {
+		return nil, fmt.Errorf("sweep: channel factory %q returned an unnamed model", name)
+	}
+	return m, nil
+}
+
+// ChannelsByName resolves a comma-separated channel entry list ("none,cd",
+// "noisy:0.05"). An empty list resolves to nil: the sweep keeps the paper's
+// default channel and — for exact compatibility with pre-channel grids —
+// omits the channel axis entirely.
+func ChannelsByName(list string) ([]model.ChannelModel, error) {
+	if strings.TrimSpace(list) == "" {
+		return nil, nil
+	}
+	var out []model.ChannelModel
+	for _, entry := range strings.Split(list, ",") {
+		m, err := ResolveChannel(entry)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, m)
+	}
+	return out, nil
 }
 
 // standardCaseNames is the canonical cmd/ tool registry order; StandardCases
@@ -330,5 +413,41 @@ func init() {
 			return adversary.Generator{}, fmt.Errorf("sweep: bad swap argument %d (swap:1 selects the greedy search; swap:0 or no argument the plain one)", arg)
 		}
 		return adversary.SwapPattern(hasArg && arg == 1), nil
+	})
+
+	// Channel models: the four feedback regimes plus the two perturbing
+	// families. Argless regimes reject an argument; the perturbing families
+	// require one.
+	plainChannel := func(name string, m model.ChannelModel) {
+		RegisterChannel(name, func(arg string, hasArg bool) (model.ChannelModel, error) {
+			if hasArg {
+				return nil, fmt.Errorf("sweep: channel %q takes no argument", name)
+			}
+			return m, nil
+		})
+	}
+	plainChannel("none", model.None())
+	plainChannel("cd", model.CD())
+	plainChannel("sender_cd", model.SenderCD())
+	plainChannel("ack", model.Ack())
+	RegisterChannel("noisy", func(arg string, hasArg bool) (model.ChannelModel, error) {
+		if !hasArg {
+			return nil, fmt.Errorf("sweep: channel \"noisy\" needs a flip probability (noisy:<p>)")
+		}
+		p, err := strconv.ParseFloat(arg, 64)
+		if err != nil || !(p >= 0 && p <= 1) {
+			return nil, fmt.Errorf("sweep: bad noise probability %q (want 0 <= p <= 1)", arg)
+		}
+		return model.Noisy(p), nil
+	})
+	RegisterChannel("jam", func(arg string, hasArg bool) (model.ChannelModel, error) {
+		if !hasArg {
+			return nil, fmt.Errorf("sweep: channel \"jam\" needs a slot budget (jam:<q>)")
+		}
+		q, err := strconv.ParseInt(arg, 10, 64)
+		if err != nil || q < 0 {
+			return nil, fmt.Errorf("sweep: bad jam budget %q (want an integer >= 0)", arg)
+		}
+		return model.Jam(q), nil
 	})
 }

@@ -4,20 +4,28 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"fmt"
+	"slices"
 	"strings"
 )
 
 // statColumns are the derived columns every rendering appends after the axes.
+// Grids with a channel axis additionally append the energy column —
+// transmissions plus listening slots — and only those: pre-channel grids
+// keep their exact pre-channel output bytes.
 var statColumns = []string{
 	"trials", "ok", "mean", "median", "p95", "max",
 	"collisions", "silences", "transmissions", "success_rate",
 }
 
+// withEnergy reports whether the result carries a channel axis, which opts
+// the energy column into every rendering.
+func (r *Result) withEnergy() bool { return slices.Contains(r.Axes, "channel") }
+
 // statCells formats one cell's aggregate into the statColumns order. The
 // formats are fixed-precision so output is byte-stable.
-func statCells(c CellResult) []string {
+func statCells(c CellResult, energy bool) []string {
 	sum := c.Agg.Summary()
-	return []string{
+	out := []string{
 		fmt.Sprintf("%d", c.Agg.Trials),
 		fmt.Sprintf("%d", c.Agg.Successes),
 		fmt.Sprintf("%.1f", sum.Mean),
@@ -29,18 +37,27 @@ func statCells(c CellResult) []string {
 		fmt.Sprintf("%d", c.Agg.Transmissions),
 		fmt.Sprintf("%.3f", c.Agg.SuccessRate()),
 	}
+	if energy {
+		out = append(out, fmt.Sprintf("%d", c.Agg.Energy()))
+	}
+	return out
 }
 
 // header returns the full column list: axes then derived statistics.
 func (r *Result) header() []string {
-	return append(append([]string{}, r.Axes...), statColumns...)
+	out := append(append([]string{}, r.Axes...), statColumns...)
+	if r.withEnergy() {
+		out = append(out, "energy")
+	}
+	return out
 }
 
 // rows returns every cell as a full row of rendered cells.
 func (r *Result) rows() [][]string {
+	energy := r.withEnergy()
 	out := make([][]string, len(r.Cells))
 	for i, c := range r.Cells {
-		out[i] = append(append([]string{}, c.Cell...), statCells(c)...)
+		out[i] = append(append([]string{}, c.Cell...), statCells(c, energy)...)
 	}
 	return out
 }
@@ -116,6 +133,9 @@ type jsonCell struct {
 	Silences      int64    `json:"silences"`
 	Transmissions int64    `json:"transmissions"`
 	SuccessRate   float64  `json:"success_rate"`
+	// Energy (transmissions + listening slots) is emitted only for grids
+	// with a channel axis, keeping pre-channel JSON byte-identical.
+	Energy *int64 `json:"energy,omitempty"`
 }
 
 type jsonResult struct {
@@ -126,6 +146,7 @@ type jsonResult struct {
 
 // JSON renders the sweep as deterministic indented JSON.
 func (r *Result) JSON() ([]byte, error) {
+	energy := r.withEnergy()
 	out := jsonResult{Name: r.Name, Axes: r.Axes, Cells: make([]jsonCell, len(r.Cells))}
 	for i, c := range r.Cells {
 		sum := c.Agg.Summary()
@@ -141,6 +162,10 @@ func (r *Result) JSON() ([]byte, error) {
 			Silences:      c.Agg.Silences,
 			Transmissions: c.Agg.Transmissions,
 			SuccessRate:   c.Agg.SuccessRate(),
+		}
+		if energy {
+			e := c.Agg.Energy()
+			out.Cells[i].Energy = &e
 		}
 	}
 	return json.MarshalIndent(out, "", "  ")

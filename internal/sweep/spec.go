@@ -33,8 +33,9 @@ type Case struct {
 }
 
 // Spec is the declarative sweep: the cross product of Cases × Patterns ×
-// Ns × Ks, Trials trials per cell, each trial running on the worker's
-// pooled engine with a pattern drawn from the trial's derived stream.
+// Channels × Ns × Ks, Trials trials per cell, each trial running on the
+// worker's pooled engine with a pattern drawn from the trial's derived
+// stream.
 type Spec struct {
 	// Name labels the sweep in rendered output.
 	Name string
@@ -42,6 +43,11 @@ type Spec struct {
 	Cases []Case
 	// Patterns are the adversary wake-pattern families.
 	Patterns []adversary.Generator
+	// Channels are the channel models on the grid's channel axis (resolve
+	// entries with ChannelsByName). Empty keeps the paper's default channel
+	// (model.None) and — for exact output compatibility with pre-channel
+	// specs — omits the channel axis from the grid entirely.
+	Channels []model.ChannelModel
 	// Ns and Ks are the universe-size and awake-count axes; cells with
 	// k > n are skipped.
 	Ns, Ks []int
@@ -67,36 +73,53 @@ func PatternSeed(trialSeed uint64) uint64 {
 	return rng.Derive(trialSeed, patternStream)
 }
 
-// cellPoint is one enumerated spec cell.
+// cellPoint is one enumerated spec cell. ch is nil when the spec declares no
+// channel axis (the paper-default channel).
 type cellPoint struct {
 	c    Case
 	gen  adversary.Generator
+	ch   model.ChannelModel
 	n, k int
 }
 
 // enumerate walks the spec's cross product in the documented order — cases
-// outermost, then patterns, ns, ks — returning the kept cells, their labels,
-// and a description of every dropped combination (k > n, or k beyond a
-// case's feasible regime).
+// outermost, then patterns, channels, ns, ks — returning the kept cells,
+// their labels, and a description of every dropped combination (k > n, or k
+// beyond a case's feasible regime). A spec without channels enumerates
+// exactly the pre-channel cross product: same cell indices (and therefore
+// the same derived trial seeds) and four-column labels.
 func (s Spec) enumerate() (points []cellPoint, labels [][]string, skipped []string) {
+	channels := s.Channels
+	withChannel := len(channels) > 0
+	if !withChannel {
+		channels = []model.ChannelModel{nil}
+	}
 	for _, c := range s.Cases {
 		for _, gen := range s.Patterns {
-			for _, n := range s.Ns {
-				for _, k := range s.Ks {
-					if k > n || k < 1 {
-						skipped = append(skipped,
-							fmt.Sprintf("%s×%s n=%d k=%d (k out of [1,n])", c.Name, gen.Name, n, k))
-						continue
+			for _, ch := range channels {
+				at := fmt.Sprintf("%s×%s", c.Name, gen.Name)
+				if withChannel {
+					at = fmt.Sprintf("%s×%s", at, ch.Name())
+				}
+				for _, n := range s.Ns {
+					for _, k := range s.Ks {
+						if k > n || k < 1 {
+							skipped = append(skipped,
+								fmt.Sprintf("%s n=%d k=%d (k out of [1,n])", at, n, k))
+							continue
+						}
+						if c.MaxK > 0 && k > c.MaxK {
+							skipped = append(skipped,
+								fmt.Sprintf("%s n=%d k=%d (%s caps k at %d)", at, n, k, c.Name, c.MaxK))
+							continue
+						}
+						points = append(points, cellPoint{c, gen, ch, n, k})
+						label := []string{c.Name, gen.Name}
+						if withChannel {
+							label = append(label, ch.Name())
+						}
+						labels = append(labels, append(label, strconv.Itoa(n), strconv.Itoa(k)))
 					}
-					if c.MaxK > 0 && k > c.MaxK {
-						skipped = append(skipped,
-							fmt.Sprintf("%s×%s n=%d k=%d (%s caps k at %d)", c.Name, gen.Name, n, k, c.Name, c.MaxK))
-						continue
-					}
-					points = append(points, cellPoint{c, gen, n, k})
-					labels = append(labels, []string{
-						c.Name, gen.Name, strconv.Itoa(n), strconv.Itoa(k),
-					})
 				}
 			}
 		}
@@ -140,9 +163,13 @@ func (s Spec) Compile() (Grid, []string, error) {
 		return Grid{}, skipped, fmt.Errorf("sweep: spec %q produced no cells (all k > n?)", s.Name)
 	}
 
+	axes := []string{"algo", "pattern", "n", "k"}
+	if len(s.Channels) > 0 {
+		axes = []string{"algo", "pattern", "channel", "n", "k"}
+	}
 	return Grid{
 		Name:    s.Name,
-		Axes:    []string{"algo", "pattern", "n", "k"},
+		Axes:    axes,
 		Cells:   labels,
 		Trials:  s.Trials,
 		Seed:    s.Seed,
@@ -154,10 +181,10 @@ func (s Spec) Compile() (Grid, []string, error) {
 			p := pt.c.Params(pt.n, pt.k, seed)
 			horizon := pt.c.Horizon(pt.n, pt.k)
 			// White-box families (spoiler, swap) construct their pattern
-			// against the cell's algorithm; black-box families draw from
-			// (n, k, pattern stream) alone.
-			w := pt.gen.Pattern(algo, p, pt.k, horizon, PatternSeed(seed))
-			if err := e.Reset(algo, p, w, sim.Options{Horizon: horizon, Seed: seed}); err != nil {
+			// against the cell's algorithm and channel model; black-box
+			// families draw from (n, k, pattern stream) alone.
+			w := pt.gen.Pattern(algo, p, pt.k, horizon, PatternSeed(seed), pt.ch)
+			if err := e.Reset(algo, p, w, sim.Options{Horizon: horizon, Seed: seed, Channel: pt.ch}); err != nil {
 				// A knowledge-inconsistent (case, pattern) pairing is a spec
 				// bug; surface it loudly rather than skewing aggregates.
 				panic(fmt.Sprintf("sweep: %s × %s rejected input: %v", pt.c.Name, pt.gen.Name, err))
@@ -172,6 +199,7 @@ func (s Spec) Compile() (Grid, []string, error) {
 				Collisions:    res.Collisions,
 				Silences:      res.Silences,
 				Transmissions: res.Transmissions,
+				Listens:       res.Listens,
 				Winner:        res.Winner,
 				SuccessSlot:   res.SuccessSlot,
 			}

@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"nsmac/internal/adversary"
+	"nsmac/internal/model"
 )
 
 // SpecDoc is the serializable, wire-format-first description of a sweep: the
@@ -26,6 +27,11 @@ type SpecDoc struct {
 	// without an explicit argument use the documented defaults (gap 7,
 	// window width 64, start slot 0).
 	Patterns []string `json:"patterns"`
+	// Channels are channel-model entries ("none", "cd", "sender_cd", "ack",
+	// "noisy:<p>", "jam:<q>"). Absent or empty keeps the paper's channel and
+	// omits the channel axis, so documents written before the field — and
+	// their output bytes — are unchanged.
+	Channels []string `json:"channels,omitempty"`
 	// Ns and Ks are the universe-size and awake-count axes.
 	Ns []int `json:"ns"`
 	Ks []int `json:"ks"`
@@ -98,10 +104,19 @@ func (d SpecDoc) Resolve() (Spec, error) {
 		}
 		patterns = append(patterns, g)
 	}
+	var channels []model.ChannelModel
+	for _, entry := range d.Channels {
+		m, err := ResolveChannel(entry)
+		if err != nil {
+			return Spec{}, err
+		}
+		channels = append(channels, m)
+	}
 	return Spec{
 		Name:     d.Name,
 		Cases:    cases,
 		Patterns: patterns,
+		Channels: channels,
 		Ns:       append([]int(nil), d.Ns...),
 		Ks:       append([]int(nil), d.Ks...),
 		Trials:   d.Trials,
@@ -137,6 +152,12 @@ func (s Spec) Doc() (SpecDoc, error) {
 			return SpecDoc{}, fmt.Errorf("sweep: pattern %q has no registry ref; register it with RegisterPattern to serialize it", g.Name)
 		}
 		d.Patterns = append(d.Patterns, g.Ref)
+	}
+	for _, m := range s.Channels {
+		if m == nil || m.Name() == "" {
+			return SpecDoc{}, fmt.Errorf("sweep: channel model has no wire name; register it with RegisterChannel to serialize it")
+		}
+		d.Channels = append(d.Channels, m.Name())
 	}
 
 	src, err := s.Grid()

@@ -346,9 +346,12 @@ func TestRegistryExtension(t *testing.T) {
 // arbitrary input, and that documents that survive decoding re-encode.
 func FuzzSpecDocDecode(f *testing.F) {
 	f.Add([]byte(goldenDoc))
+	f.Add([]byte(goldenChannelsDoc))
 	f.Add([]byte(`{}`))
 	f.Add([]byte(`{"name":"x","cases":["wakeupc"],"patterns":["swap:1"],"ns":[8],"ks":[2],"trials":1,"seed":18446744073709551615}`))
 	f.Add([]byte(`{"cases":[""],"patterns":["@"],"ns":[-1],"ks":[],"trials":-1}`))
+	f.Add([]byte(`{"name":"x","cases":["wakeupc"],"patterns":["simultaneous"],"channels":["noisy:0.5","jam:1","ack"],"ns":[8],"ks":[2],"trials":1}`))
+	f.Add([]byte(`{"channels":["noisy:-1","noisy:1e309",":","jam:"],"trials":1}`))
 	f.Add([]byte(`[1,2,3]`))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		doc, err := sweep.ParseSpecDoc(data)
@@ -366,7 +369,11 @@ func FuzzSpecDocDecode(f *testing.F) {
 		// Resolved specs must at least enumerate without panicking. (Don't
 		// execute, and skip grids whose cross product would just burn fuzz
 		// time: the fuzzer would happily build million-cell grids.)
-		if len(spec.Cases)*len(spec.Patterns)*len(spec.Ns)*len(spec.Ks) > 1<<14 {
+		channels := len(spec.Channels)
+		if channels == 0 {
+			channels = 1
+		}
+		if len(spec.Cases)*len(spec.Patterns)*channels*len(spec.Ns)*len(spec.Ks) > 1<<14 {
 			return
 		}
 		_, _, _ = spec.Compile()

@@ -57,11 +57,13 @@ type Sample struct {
 	// Rounds is the trial's cost measure (the paper's t − s, or the horizon
 	// on failure).
 	Rounds int64
-	// Collisions, Silences and Transmissions are the run's waste and energy
-	// counters (ground truth).
+	// Collisions, Silences, Transmissions and Listens are the run's waste
+	// and energy counters (effective slot outcomes; energy = transmissions
+	// plus listening slots).
 	Collisions    int64
 	Silences      int64
 	Transmissions int64
+	Listens       int64
 	// Winner is the station that transmitted alone (0 if none).
 	Winner int
 	// SuccessSlot is the global slot of the first success (-1 if none).
@@ -248,7 +250,7 @@ func (g Grid) Execute() (*Result, error) {
 	for ci := range res.Cells {
 		res.Cells[ci].Agg.Reserve(g.Trials)
 		for _, s := range res.Cells[ci].Samples {
-			res.Cells[ci].Agg.AddTrial(float64(s.Rounds), s.OK, s.Collisions, s.Silences, s.Transmissions)
+			res.Cells[ci].Agg.AddTrial(float64(s.Rounds), s.OK, s.Collisions, s.Silences, s.Transmissions, s.Listens)
 		}
 	}
 	return res, nil

@@ -19,9 +19,17 @@
 // are Θ(k log(n/k)+1). Scenario C needs neither and costs an extra
 // O(log log n) factor. NewRPD gives the §6 randomized baseline.
 //
+// The channel itself is pluggable: RunOptions.Channel accepts a
+// ChannelModel — the paper's regime (ChannelNone), full or sender-side
+// collision detection (ChannelCD, ChannelSenderCD), acknowledgement-only
+// feedback (ChannelAck), or reproducibly perturbed channels (ChannelNoisy,
+// ChannelJam) — and every run accounts energy as transmissions plus
+// listening slots (Result.Energy).
+//
 // The companion package nsmac/sweep is the experiment API: declarative
-// grids (algorithms × wake patterns × {n, k} axes), serializable spec
-// documents, and cross-process shard/merge with byte-identical output.
+// grids (algorithms × wake patterns × channel models × {n, k} axes),
+// serializable spec documents, and cross-process shard/merge with
+// byte-identical output.
 //
 // See README.md for the public-API and CLI quickstart, including a worked
 // shard→merge example; the theorem-backed experiment tables (T1…T12) are
@@ -54,7 +62,17 @@ type (
 	TransmitFunc = model.TransmitFunc
 	// Feedback is what a slot sounds like (silence / success / collision).
 	Feedback = model.Feedback
-	// FeedbackModel selects the channel feedback regime.
+	// ChannelModel is the pluggable channel regime: feedback filtering per
+	// station role, plus optional reproducible slot perturbation (noise,
+	// jamming). Set RunOptions.Channel to one of ChannelNone, ChannelCD,
+	// ChannelSenderCD, ChannelAck, ChannelNoisy, ChannelJam — or register a
+	// custom model with sweep.RegisterChannel to use it as a sweep axis.
+	ChannelModel = model.ChannelModel
+	// FeedbackModel selects between the two original feedback regimes.
+	//
+	// Deprecated: the enum survives as an alias layer over the ChannelModel
+	// API; NoCollisionDetection and CollisionDetection resolve to the
+	// ChannelNone and ChannelCD built-in models (via its Model method).
 	FeedbackModel = model.FeedbackModel
 	// Channel is the slotted medium; returned by Run for transcript access.
 	Channel = channel.Channel
@@ -77,10 +95,47 @@ const (
 	Collision = model.Collision
 
 	// NoCollisionDetection is the paper's feedback model.
+	//
+	// Deprecated: use RunOptions.Channel = ChannelNone() (the default).
 	NoCollisionDetection = model.NoCollisionDetection
 	// CollisionDetection passes collision feedback through (TreeCD).
+	//
+	// Deprecated: use RunOptions.Channel = ChannelCD().
 	CollisionDetection = model.CollisionDetection
 )
+
+// Channel models ---------------------------------------------------------
+//
+// The channel is pluggable: RunOptions.Channel selects the feedback regime
+// and any reproducible perturbation, and nsmac/sweep exposes the same
+// vocabulary as a grid axis (SpecDoc "channels", CLI -channels) with energy
+// accounting (transmissions + listening slots) in the rendered output.
+
+// ChannelNone returns the paper's channel: no collision detection, so a
+// collision is indistinguishable from silence for every station. It is the
+// default when RunOptions.Channel is nil.
+func ChannelNone() ChannelModel { return model.None() }
+
+// ChannelCD returns the full collision-detection channel (TreeCD's model).
+func ChannelCD() ChannelModel { return model.CD() }
+
+// ChannelSenderCD returns the sender-side collision-detection channel: only
+// stations that transmitted in a slot learn whether they collided.
+func ChannelSenderCD() ChannelModel { return model.SenderCD() }
+
+// ChannelAck returns the acknowledgement-only channel: only the successful
+// sender hears its success; everything else sounds like silence.
+func ChannelAck() ChannelModel { return model.Ack() }
+
+// ChannelNoisy returns the paper's channel with erasure noise: each
+// non-silent slot flips to silence with probability p, drawn reproducibly
+// from the run seed's derived channel stream. Panics unless 0 <= p <= 1.
+func ChannelNoisy(p float64) ChannelModel { return model.Noisy(p) }
+
+// ChannelJam returns the paper's channel with an adversarial jammer of
+// budget q: the first q would-be successes become collisions. Panics on
+// q < 0.
+func ChannelJam(q int64) ChannelModel { return model.Jam(q) }
 
 // Simultaneous builds the pattern where all given stations wake at slot s.
 func Simultaneous(ids []int, s int64) WakePattern { return model.Simultaneous(ids, s) }

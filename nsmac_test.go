@@ -126,6 +126,50 @@ func TestPublicAPIFeedbackConstants(t *testing.T) {
 	if Success.String() != "success" {
 		t.Error("feedback stringer broken")
 	}
+	// The deprecated enum resolves to the built-in channel models.
+	if NoCollisionDetection.Model().Name() != "none" || CollisionDetection.Model().Name() != "cd" {
+		t.Error("enum → ChannelModel resolution broken through the public API")
+	}
+}
+
+func TestPublicAPIChannelModels(t *testing.T) {
+	p := ScenarioC(64, 7)
+	w := Simultaneous([]int{3, 17, 40}, 0)
+	algo := NewWakeupC()
+	hor := algo.Horizon(64, 3)
+
+	base, _, err := Run(algo, p, w, RunOptions{Horizon: hor, Seed: 7})
+	if err != nil || !base.Succeeded {
+		t.Fatalf("baseline run: %+v, %v", base, err)
+	}
+	if base.Energy() != base.Transmissions+base.Listens || base.Energy() == 0 {
+		t.Errorf("energy accounting broken: %+v", base)
+	}
+
+	// noisy:0 is the paper channel; TreeCD runs on ChannelCD; jamming
+	// delays a lone always-transmitter by exactly its budget.
+	zero, _, err := Run(algo, p, w, RunOptions{Horizon: hor, Seed: 7, Channel: ChannelNoisy(0)})
+	if err != nil || zero != base {
+		t.Fatalf("ChannelNoisy(0) diverged from the default: %+v vs %+v (%v)", zero, base, err)
+	}
+	res, _, err := Run(NewTreeCD(), Params{N: 64, S: -1}, Simultaneous([]int{1, 33, 64}, 0), RunOptions{
+		Horizon: 1000, Adaptive: true, Channel: ChannelCD(),
+	})
+	if err != nil || !res.Succeeded {
+		t.Fatalf("tree cd on ChannelCD: %+v, %v", res, err)
+	}
+	for _, mk := range []func() ChannelModel{ChannelNone, ChannelSenderCD, ChannelAck} {
+		if _, _, err := Run(algo, p, w, RunOptions{Horizon: hor, Seed: 7, Channel: mk()}); err != nil {
+			t.Fatalf("%s: %v", mk().Name(), err)
+		}
+	}
+	jammed, _, err := Run(algo, p, w, RunOptions{Horizon: 4 * hor, Seed: 7, Channel: ChannelJam(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jammed.Succeeded && jammed.SuccessSlot <= base.SuccessSlot {
+		t.Errorf("jammer did not delay resolution: %+v vs %+v", jammed, base)
+	}
 }
 
 func TestPublicAPIBEB(t *testing.T) {

@@ -36,6 +36,7 @@ package sweep
 
 import (
 	"nsmac/internal/adversary"
+	"nsmac/internal/model"
 	"nsmac/internal/stats"
 	isweep "nsmac/internal/sweep"
 )
@@ -54,6 +55,11 @@ type (
 	PatternShape = isweep.PatternShape
 	// PatternFactory builds a registered pattern family from its entry.
 	PatternFactory = isweep.PatternFactory
+	// ChannelFactory builds a registered channel model from its entry.
+	ChannelFactory = isweep.ChannelFactory
+	// ChannelModel is the pluggable channel regime a sweep cell runs under
+	// (feedback filtering plus optional noise/jam perturbation).
+	ChannelModel = model.ChannelModel
 	// Generator is a reproducible wake-pattern family (black- or white-box).
 	Generator = adversary.Generator
 	// Grid is the low-level sweep unit: explicit cells plus a trial func.
@@ -87,8 +93,16 @@ func RegisterCase(name string, f CaseFactory) { isweep.RegisterCase(name, f) }
 // making it resolvable from -patterns lists and SpecDoc pattern entries.
 func RegisterPattern(name string, f PatternFactory) { isweep.RegisterPattern(name, f) }
 
+// RegisterChannel adds a named channel-model factory to the registry, making
+// it resolvable from -channels lists and SpecDoc channel entries.
+func RegisterChannel(name string, f ChannelFactory) { isweep.RegisterChannel(name, f) }
+
 // ResolveCase resolves one case entry (`name[:arg]`) against the registry.
 func ResolveCase(entry string) (Case, error) { return isweep.ResolveCase(entry) }
+
+// ResolveChannel resolves one channel entry (`name[:arg]`, e.g. "none",
+// "noisy:0.05") against the registry.
+func ResolveChannel(entry string) (ChannelModel, error) { return isweep.ResolveChannel(entry) }
 
 // ResolvePattern resolves one pattern entry (`name[:arg][@start]`) against
 // the registry with the given shape defaults.
@@ -101,6 +115,14 @@ func CaseNames() []string { return isweep.CaseNames() }
 
 // PatternNames returns every registered pattern name in registration order.
 func PatternNames() []string { return isweep.PatternNames() }
+
+// ChannelNames returns every registered channel name in registration order.
+func ChannelNames() []string { return isweep.ChannelNames() }
+
+// ChannelsByName resolves a comma-separated channel entry list
+// ("none,noisy:0.05"); an empty list resolves to nil, keeping the paper's
+// default channel with no channel axis on the grid.
+func ChannelsByName(list string) ([]ChannelModel, error) { return isweep.ChannelsByName(list) }
 
 // StandardCases returns the canonical named algorithm cases, in order.
 func StandardCases() []Case { return isweep.StandardCases() }
