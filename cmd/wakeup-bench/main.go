@@ -20,14 +20,29 @@
 //	wakeup-bench -spec grid.json -shard 1/3 -out s1.json
 //	wakeup-bench -spec grid.json -shard 2/3 -out s2.json
 //	wakeup-bench merge s0.json s1.json s2.json    # == the unsharded run
+//
+// The "run" subcommand drives the whole shard plan itself — dispatching
+// shards through a pluggable executor with retries, bounded concurrency and
+// a resumable on-disk store — and prints the merged result, byte-identical
+// to the unsharded run:
+//
+//	wakeup-bench run -spec grid.json -shards 3 -exec subprocess -store runs
+//	# ... killed mid-run? re-run only the missing shards:
+//	wakeup-bench run -spec grid.json -shards 3 -exec subprocess -store runs -resume
+//	wakeup-bench run -spec grid.json -shards 4 \
+//	    -exec 'cmd:ssh host wakeup-bench -spec - -shard {i}/{m}'
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"nsmac/internal/experiments"
@@ -35,9 +50,15 @@ import (
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "merge" {
-		runMerge(os.Args[2:])
-		return
+	if len(os.Args) > 1 {
+		switch os.Args[1] {
+		case "merge":
+			runMerge(os.Args[2:])
+			return
+		case "run":
+			runDispatch(os.Args[2:])
+			return
+		}
 	}
 
 	var (
@@ -53,7 +74,7 @@ func main() {
 		ks       = flag.String("ks", "1,4,16,64", "custom grid: awake-station counts")
 		patterns = flag.String("patterns", "suite", "custom grid: wake pattern entries (simultaneous, staggered[:gap], uniform[:width], bursts[:gap], spoiler, swap[:1=greedy], suite; @slot shifts the start)")
 		channels = flag.String("channels", "", "custom grid: channel-model entries (none, cd, sender_cd, ack, noisy:<p>, jam:<q>); empty keeps the paper channel and omits the channel axis")
-		specFile = flag.String("spec", "", "run the sweep described by this spec document (JSON) instead of flag axes or experiment tables")
+		specFile = flag.String("spec", "", "run the sweep described by this spec document (JSON; \"-\" reads stdin) instead of flag axes or experiment tables")
 		shardArg = flag.String("shard", "", "run only shard i of m of the grid, as \"i/m\", and emit a shard envelope (requires -spec or -algos)")
 		outFile  = flag.String("out", "", "write output to this file instead of stdout")
 		dumpSpec = flag.Bool("dump-spec", false, "emit the selected grid as a reusable spec document and exit (requires -spec or -algos)")
@@ -146,19 +167,32 @@ func main() {
 	}
 }
 
+// readSpecDoc loads and decodes a spec document from a file, or from stdin
+// when the path is "-" (the form remote executors use to stream a grid to a
+// shard worker over ssh).
+func readSpecDoc(path string) sweep.SpecDoc {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		fail("%v", err)
+	}
+	doc, err := sweep.ParseSpecDoc(data)
+	if err != nil {
+		fail("%v", err)
+	}
+	return doc
+}
+
 // buildSpec assembles the sweep spec from a spec document file or from the
 // axis flags.
 func buildSpec(specFile, algos, ns, ks, patterns, channels string, trials int, seed uint64) sweep.Spec {
 	if specFile != "" {
-		data, err := os.ReadFile(specFile)
-		if err != nil {
-			fail("%v", err)
-		}
-		doc, err := sweep.ParseSpecDoc(data)
-		if err != nil {
-			fail("%v", err)
-		}
-		spec, err := doc.Resolve()
+		spec, err := readSpecDoc(specFile).Resolve()
 		if err != nil {
 			fail("%v", err)
 		}
@@ -291,6 +325,146 @@ func runMerge(args []string) {
 	emit(*outFile, []byte(out))
 }
 
+// runDispatch implements the "run" subcommand: execute a spec document's
+// whole m-shard plan through a pluggable executor — with retries, bounded
+// concurrency and an optional resumable envelope store — and render the
+// merged result, byte-identical to the unsharded run.
+func runDispatch(args []string) {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	var (
+		specFile = fs.String("spec", "", "grid spec document (JSON); \"-\" reads stdin (required)")
+		shards   = fs.Int("shards", 0, "shard count m of the trial-striped plan (required, >= 1)")
+		execSpec = fs.String("exec", "local", "executor: \"local\" (in-process), \"subprocess[:binary]\" (one process per shard; default binary: this one), or \"cmd:<template>\" (whitespace-split argv with {spec}/{i}/{m}/{fingerprint} substituted; envelope read from stdout, spec piped to stdin unless {spec} is used)")
+		storeDir = fs.String("store", "", "persist shard envelopes under this directory (<dir>/<fingerprint>/<i>-of-<m>.json); enables -resume")
+		resume   = fs.Bool("resume", false, "skip shards whose stored envelope is already complete and valid; re-run only missing or corrupt ones (requires -store)")
+		retries  = fs.Int("retries", 3, "dispatch attempt cap per shard")
+		conc     = fs.Int("concurrency", 1, "shards in flight at once")
+		workers  = fs.Int("workers", 0, "per-shard trial workers for local/subprocess executors (0 = GOMAXPROCS)")
+		batch    = fs.Int("batch", 0, "trials per work item (0 = auto); tunes scheduling overhead, never output")
+		format   = fs.String("format", "text", "output format: text | csv | json")
+		outFile  = fs.String("out", "", "write merged output to this file instead of stdout")
+		quiet    = fs.Bool("quiet", false, "suppress per-shard progress lines on stderr")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: wakeup-bench run -spec grid.json -shards m [-exec local|subprocess[:bin]|cmd:...] [-store dir [-resume]] ...\n")
+		fs.PrintDefaults()
+	}
+	_ = fs.Parse(args)
+	if fs.NArg() > 0 {
+		fail("run: unexpected arguments %v", fs.Args())
+	}
+	if *specFile == "" {
+		fail("run: -spec is required")
+	}
+	if *shards < 1 {
+		fail("run: -shards must be >= 1")
+	}
+	if *retries < 1 {
+		fail("run: -retries must be >= 1 (1 = no retry, fail after the first attempt)")
+	}
+	if *resume && *storeDir == "" {
+		fail("run: -resume requires -store")
+	}
+	switch *format {
+	case "", "text", "csv", "json":
+		// Validated before any shard is dispatched: a -format typo must not
+		// cost the whole run's compute.
+	default:
+		fail("run: unknown format %q (have text, csv, json)", *format)
+	}
+
+	doc := readSpecDoc(*specFile)
+	// Surface the dropped-cell report (and any resolve error) before any
+	// shard is dispatched.
+	_, skipped, err := sweep.PlanShards(doc, *shards)
+	if err != nil {
+		fail("%v", err)
+	}
+	for _, s := range skipped {
+		fmt.Fprintf(os.Stderr, "wakeup-bench: skipping cell %s\n", s)
+	}
+
+	d := &sweep.Driver{
+		Exec:        buildExecutor(*execSpec, *workers, *batch),
+		Resume:      *resume,
+		MaxAttempts: *retries,
+		Concurrency: *conc,
+	}
+	if *storeDir != "" {
+		d.Store = &sweep.RunStore{Dir: *storeDir}
+	}
+	if !*quiet {
+		d.Progress = func(ev sweep.Event) {
+			switch ev.State {
+			case sweep.EventCached:
+				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d already in store, skipping\n", ev.Shard, ev.Shards)
+			case sweep.EventStart:
+				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d attempt %d...\n", ev.Shard, ev.Shards, ev.Attempt)
+			case sweep.EventDone:
+				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d done\n", ev.Shard, ev.Shards)
+			case sweep.EventRetry:
+				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d attempt %d failed (%v), retrying\n", ev.Shard, ev.Shards, ev.Attempt, ev.Err)
+			case sweep.EventFailed:
+				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d failed after %d attempts: %v\n", ev.Shard, ev.Shards, ev.Attempt, ev.Err)
+			}
+		}
+	}
+
+	// SIGINT/SIGTERM cancel the dispatch context: in-flight subprocess
+	// shards are killed, and — with a store — every completed envelope is
+	// already on disk for a later -resume. Once the context is canceled the
+	// signal handler is released, so a second ^C terminates the process the
+	// default way (the local executor cannot abort a shard mid-grid).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		stop()
+	}()
+
+	res, err := d.Run(ctx, doc, *shards)
+	if err != nil {
+		fail("%v", err)
+	}
+	out, err := res.Render(*format)
+	if err != nil {
+		fail("%v", err)
+	}
+	emit(*outFile, []byte(out))
+}
+
+// buildExecutor resolves the -exec flag grammar into an executor.
+func buildExecutor(spec string, workers, batch int) sweep.Executor {
+	switch {
+	case spec == "local":
+		return sweep.Local{Workers: workers, Batch: batch}
+	case spec == "subprocess" || strings.HasPrefix(spec, "subprocess:"):
+		sub := sweep.Subprocess{Stderr: os.Stderr}
+		if rest, ok := strings.CutPrefix(spec, "subprocess:"); ok {
+			if rest == "" {
+				fail("run: -exec subprocess: has an empty binary path")
+			}
+			sub.Binary = rest
+		}
+		if workers != 0 {
+			sub.Args = append(sub.Args, "-workers", strconv.Itoa(workers))
+		}
+		if batch != 0 {
+			sub.Args = append(sub.Args, "-batch", strconv.Itoa(batch))
+		}
+		return sub
+	case strings.HasPrefix(spec, "cmd:"):
+		argv := strings.Fields(strings.TrimPrefix(spec, "cmd:"))
+		if len(argv) == 0 {
+			fail("run: -exec cmd: has an empty template")
+		}
+		return sweep.Command{Argv: argv, Stderr: os.Stderr}
+	default:
+		fail("run: unknown -exec %q (have local, subprocess[:binary], cmd:<template>)", spec)
+		panic("unreachable")
+	}
+}
+
 // parseShard parses the "-shard i/m" plan coordinate. Both halves must be
 // clean integers — trailing garbage would silently select a different plan.
 func parseShard(s string) (index, count int, err error) {
@@ -309,13 +483,16 @@ func parseShard(s string) (index, count int, err error) {
 	return index, count, nil
 }
 
-// emit writes output to the -out file, or stdout when none was given.
+// emit writes output to the -out file, or stdout when none was given. File
+// writes are atomic (temp file + rename in the target directory), so a
+// killed shard can never leave a truncated envelope behind for a later
+// merge or -resume to trip over.
 func emit(outFile string, data []byte) {
 	if outFile == "" {
 		os.Stdout.Write(data)
 		return
 	}
-	if err := os.WriteFile(outFile, data, 0o644); err != nil {
+	if err := sweep.WriteFileAtomic(outFile, data, 0o644); err != nil {
 		fail("%v", err)
 	}
 }

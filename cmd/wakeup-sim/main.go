@@ -47,6 +47,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "parallel trial workers (0 = GOMAXPROCS)")
 		batch    = flag.Int("batch", 0, "trials per work item (0 = auto); tunes scheduling overhead, never output")
 		format   = flag.String("format", "text", "grid-mode output format: text | csv | json")
+		outFile  = flag.String("out", "", "grid mode: write the table (or -dump-spec document) to this file instead of stdout; the write is atomic (temp file + rename)")
 		dumpSpec = flag.Bool("dump-spec", false, "grid mode: emit the grid as a reusable spec document and exit")
 		showTr   = flag.Bool("trace", false, "print the channel transcript timeline (single-run mode)")
 		render   = flag.Bool("render", false, "print the Figure 1/2 matrix renderings (single-run wakeupc only)")
@@ -74,8 +75,13 @@ func main() {
 	gridMode := *dumpSpec || *trials > 1 || len(ns) > 1 || len(ks) > 1 ||
 		len(algos) > 1 || len(pats) > 1 || len(channels) > 1
 	if gridMode {
-		runGrid(algos, pats, channels, ns, ks, *trials, *seed, *workers, *batch, *format, *dumpSpec, *s, *gap, *width)
+		runGrid(algos, pats, channels, ns, ks, *trials, *seed, *workers, *batch, *format, *outFile, *dumpSpec, *s, *gap, *width)
 		return
+	}
+	if *outFile != "" {
+		// Single-run output is a narrative report, not a machine artifact;
+		// refusing beats silently ignoring the flag.
+		fail("-out applies to grid mode (pass -trials > 1, multiple axis values, or -dump-spec)")
 	}
 	var ch model.ChannelModel
 	if len(channels) == 1 {
@@ -110,7 +116,7 @@ func caseEntries(algos []string, s int64) []string {
 
 // runGrid executes the cross product through the sweep orchestrator.
 func runGrid(algos, pats []string, channels []model.ChannelModel, ns, ks []int, trials int, seed uint64,
-	workers, batch int, format string, dumpSpec bool, s, gap, width int64) {
+	workers, batch int, format, outFile string, dumpSpec bool, s, gap, width int64) {
 
 	cases, err := sweep.CasesByName(strings.Join(caseEntries(algos, s), ","))
 	if err != nil {
@@ -141,7 +147,7 @@ func runGrid(algos, pats []string, channels []model.ChannelModel, ns, ks []int, 
 		if err != nil {
 			fail("%v", err)
 		}
-		os.Stdout.Write(data)
+		emit(outFile, data)
 		return
 	}
 	// One enumeration serves both the skip report and the executable grid.
@@ -160,7 +166,20 @@ func runGrid(algos, pats []string, channels []model.ChannelModel, ns, ks []int, 
 	if err != nil {
 		fail("%v", err)
 	}
-	fmt.Print(out)
+	emit(outFile, []byte(out))
+}
+
+// emit writes output to the -out file, or stdout when none was given. File
+// writes are atomic (temp file + rename in the target directory), so a
+// killed process can never leave a truncated artifact behind.
+func emit(outFile string, data []byte) {
+	if outFile == "" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := sweep.WriteFileAtomic(outFile, data, 0o644); err != nil {
+		fail("%v", err)
+	}
 }
 
 // runSingle preserves the classic one-instance output with transcript and

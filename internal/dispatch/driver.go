@@ -1,0 +1,228 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nsmac/internal/sweep"
+)
+
+// EventState classifies a driver progress event.
+type EventState string
+
+const (
+	// EventCached reports a shard satisfied from the store without dispatch.
+	EventCached EventState = "cached"
+	// EventStart reports a dispatch attempt beginning.
+	EventStart EventState = "start"
+	// EventDone reports a shard completing (and, with a store, persisting).
+	EventDone EventState = "done"
+	// EventRetry reports a failed attempt that will be retried.
+	EventRetry EventState = "retry"
+	// EventFailed reports a shard exhausting its attempt cap.
+	EventFailed EventState = "failed"
+)
+
+// Event is one progress notification from a driver run.
+type Event struct {
+	// State says what happened; Err is set for retry/failed events.
+	State EventState
+	// Shard and Shards are the plan coordinates of the affected shard.
+	Shard, Shards int
+	// Attempt is the 1-based dispatch attempt (0 for cached shards).
+	Attempt int
+	// Err is the attempt's error for EventRetry and EventFailed.
+	Err error
+}
+
+// Driver executes a full shard plan through an Executor: bounded shard
+// concurrency, per-shard attempt caps, optional resume from a RunStore, a
+// progress callback, and context cancellation. Run returns the merged
+// Result, whose text/CSV/JSON render is byte-identical to executing the
+// grid in a single process.
+type Driver struct {
+	// Exec runs one shard; nil selects Local{} (in-process, GOMAXPROCS
+	// workers).
+	Exec Executor
+	// Store, when non-nil, persists every completed envelope and feeds
+	// Resume. Without a store the envelopes live only in memory.
+	Store *RunStore
+	// Resume skips shards whose stored envelope already decodes, validates,
+	// and matches the plan (fingerprint + coordinates); missing or corrupt
+	// envelopes are re-run. Requires Store.
+	Resume bool
+	// MaxAttempts caps dispatch attempts per shard (<= 0 selects 3).
+	MaxAttempts int
+	// Concurrency bounds how many shards are in flight at once (<= 0
+	// selects 1). With the Local executor each in-flight shard runs its own
+	// worker pool, so the budgets multiply.
+	Concurrency int
+	// Progress, when non-nil, receives one Event per state change. Events
+	// for different shards arrive from different goroutines, but never
+	// concurrently: the driver serializes the callback.
+	Progress func(Event)
+}
+
+// Run dispatches every shard of the m-shard plan for doc and merges the
+// envelopes. It fails fast: the first shard to exhaust its attempt cap (or
+// a context cancellation) stops new dispatches, and in-flight subprocess
+// shards are killed through the context. Callers that want the dropped-cell
+// skip report should call PlanShards themselves first.
+func (d *Driver) Run(ctx context.Context, doc sweep.SpecDoc, shards int) (*sweep.Result, error) {
+	envs, err := d.RunShards(ctx, doc, shards)
+	if err != nil {
+		return nil, err
+	}
+	return sweep.Merge(envs...)
+}
+
+// RunShards dispatches the plan and returns the complete, validated
+// envelope set in shard order without merging — for callers that want the
+// envelopes themselves (e.g. to ship elsewhere).
+func (d *Driver) RunShards(ctx context.Context, doc sweep.SpecDoc, shards int) ([]*sweep.ShardResult, error) {
+	if d.Resume && d.Store == nil {
+		return nil, fmt.Errorf("dispatch: Resume requires a Store")
+	}
+	plans, _, err := PlanShards(doc, shards)
+	if err != nil {
+		return nil, err
+	}
+
+	exec := d.Exec
+	if exec == nil {
+		exec = Local{}
+	}
+	attempts := d.MaxAttempts
+	if attempts <= 0 {
+		attempts = 3
+	}
+	conc := d.Concurrency
+	if conc <= 0 {
+		conc = 1
+	}
+	if conc > len(plans) {
+		conc = len(plans)
+	}
+
+	var progressMu sync.Mutex
+	emit := func(ev Event) {
+		if d.Progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		d.Progress(ev)
+	}
+
+	// Pending shards: resume satisfies what it can from the store first.
+	envs := make([]*sweep.ShardResult, len(plans))
+	var pending []ShardPlan
+	for _, plan := range plans {
+		if d.Resume {
+			if r, err := d.Store.Load(plan); err == nil {
+				envs[plan.Index] = r
+				emit(Event{State: EventCached, Shard: plan.Index, Shards: plan.Count})
+				continue
+			}
+		}
+		pending = append(pending, plan)
+	}
+
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel() // stop dispatching new attempts
+	}
+
+	sem := make(chan struct{}, conc)
+	for _, plan := range pending {
+		wg.Add(1)
+		go func(plan ShardPlan) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-runCtx.Done():
+				return
+			}
+			r, err := d.runShard(runCtx, exec, plan, attempts, emit)
+			if err != nil {
+				// setErr keeps only the first error: a genuinely failing
+				// shard records its cause before canceling, and shards that
+				// then fail with the canceled context lose the race.
+				setErr(err)
+				return
+			}
+			envs[plan.Index] = r
+		}(plan)
+	}
+	wg.Wait()
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, r := range envs {
+		if r == nil {
+			return nil, fmt.Errorf("dispatch: shard %d/%d never completed", i, len(plans))
+		}
+	}
+	return envs, nil
+}
+
+// runShard dispatches one shard with the per-shard attempt cap, persisting
+// the envelope on success when a store is configured.
+func (d *Driver) runShard(ctx context.Context, exec Executor, plan ShardPlan, attempts int, emit func(Event)) (*sweep.ShardResult, error) {
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		emit(Event{State: EventStart, Shard: plan.Index, Shards: plan.Count, Attempt: attempt})
+		r, err := exec.Run(ctx, plan)
+		if err == nil {
+			err = checkEnvelope(r, plan)
+		}
+		if err == nil && d.Store != nil {
+			err = d.Store.Save(r)
+		}
+		if d.Store != nil {
+			// Log the attempt whatever its outcome; the log is the audit
+			// trail resume tests check. Logging failures are secondary to
+			// the attempt's own outcome.
+			if logErr := d.Store.LogAttempt(plan.Fingerprint, plan.Index, plan.Count, attempt, err); logErr != nil && err == nil {
+				err = logErr
+			}
+		}
+		if err == nil {
+			emit(Event{State: EventDone, Shard: plan.Index, Shards: plan.Count, Attempt: attempt})
+			return r, nil
+		}
+		lastErr = err
+		// A canceled context is not a shard failure; propagate it without
+		// burning the remaining attempts.
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		if attempt < attempts {
+			emit(Event{State: EventRetry, Shard: plan.Index, Shards: plan.Count, Attempt: attempt, Err: err})
+		}
+	}
+	emit(Event{State: EventFailed, Shard: plan.Index, Shards: plan.Count, Attempt: attempts, Err: lastErr})
+	return nil, fmt.Errorf("dispatch: shard %d/%d failed after %d attempts: %w",
+		plan.Index, plan.Count, attempts, lastErr)
+}

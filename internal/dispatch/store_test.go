@@ -1,0 +1,169 @@
+package dispatch
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+
+	if err := WriteFileAtomic(path, []byte("first"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "first" {
+		t.Fatalf("read back %q", got)
+	}
+	// Overwrite replaces the content whole.
+	if err := WriteFileAtomic(path, []byte("second"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := os.ReadFile(path); string(got) != "second" {
+		t.Fatalf("read back %q", got)
+	}
+	// No temp droppings remain in the directory.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Name() != "out.json" {
+		t.Fatalf("directory holds %v, want only out.json", entries)
+	}
+	// A missing target directory is an error, not a silent success.
+	if err := WriteFileAtomic(filepath.Join(dir, "nodir", "x"), []byte("x"), 0o644); err == nil {
+		t.Error("write into a missing directory succeeded")
+	}
+
+	// A non-regular target (devices, pipes — what -out /dev/stdout points
+	// at) cannot be renamed onto and is written in place instead.
+	if err := WriteFileAtomic(os.DevNull, []byte("sink"), 0o644); err != nil {
+		t.Errorf("write to %s: %v", os.DevNull, err)
+	}
+}
+
+func TestRunStoreSaveLoad(t *testing.T) {
+	doc := testDoc(t)
+	plans, _, err := PlanShards(doc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := doc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := spec.Shard(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	store := RunStore{Dir: filepath.Join(t.TempDir(), "runs")}
+	if _, err := store.Load(plans[1]); err == nil {
+		t.Fatal("load from an empty store succeeded")
+	}
+	if err := store.Save(sr); err != nil {
+		t.Fatal(err)
+	}
+
+	// The layout is <dir>/<fingerprint>/<i>-of-<m>.json.
+	wantPath := filepath.Join(store.Dir, sr.Fingerprint, "1-of-3.json")
+	if store.Path(plans[1]) != wantPath {
+		t.Fatalf("path %q, want %q", store.Path(plans[1]), wantPath)
+	}
+	if _, err := os.Stat(wantPath); err != nil {
+		t.Fatal(err)
+	}
+
+	back, err := store.Load(plans[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, _ := sr.Encode()
+	gotBytes, _ := back.Encode()
+	if string(gotBytes) != string(wantBytes) {
+		t.Error("stored envelope did not round-trip")
+	}
+
+	// The stored envelope answers only its own plan coordinates.
+	if _, err := store.Load(plans[0]); err == nil {
+		t.Error("shard 1 envelope satisfied a load for shard 0")
+	}
+}
+
+// TestRunStoreRejectsPartialWrite is the resume half of the atomicity story:
+// an envelope truncated mid-JSON (as a non-atomic writer could leave behind)
+// must read as "missing", never as data.
+func TestRunStoreRejectsPartialWrite(t *testing.T) {
+	doc := testDoc(t)
+	plans, _, err := PlanShards(doc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := doc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := spec.Shard(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := RunStore{Dir: t.TempDir()}
+	if err := store.Save(sr); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the partial write: keep only the first half of the file.
+	path := store.Path(plans[0])
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(plans[0]); err == nil {
+		t.Fatal("truncated envelope loaded successfully")
+	}
+
+	// A syntactically valid envelope whose aggregates were tampered with is
+	// equally rejected (the stats integrity check).
+	tampered := strings.Replace(string(data), `"trials": 4`, `"trials": 5`, 1)
+	if tampered == string(data) {
+		t.Fatal("test setup: trials field not found")
+	}
+	if err := os.WriteFile(path, []byte(tampered), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Load(plans[0]); err == nil {
+		t.Fatal("tampered envelope loaded successfully")
+	}
+}
+
+func TestRunStoreAttemptLog(t *testing.T) {
+	store := RunStore{Dir: t.TempDir()}
+	if data, err := store.AttemptLog("deadbeef"); err != nil || data != nil {
+		t.Fatalf("empty log read as (%q, %v)", data, err)
+	}
+	if err := store.LogAttempt("deadbeef", 0, 3, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LogAttempt("deadbeef", 1, 3, 2, os.ErrDeadlineExceeded); err != nil {
+		t.Fatal(err)
+	}
+	data, err := store.AttemptLog("deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("log has %d lines: %q", len(lines), data)
+	}
+	if !strings.Contains(lines[0], "shard 0/3 attempt 1: ok") {
+		t.Errorf("line 0 = %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "shard 1/3 attempt 2: error:") {
+		t.Errorf("line 1 = %q", lines[1])
+	}
+}

@@ -182,7 +182,7 @@ func TestRunAdaptiveWithCD(t *testing.T) {
 	p := model.Params{N: 4, S: -1}
 	w := model.Simultaneous([]int{1, 2}, 0)
 	res, _, err := Run(parityAdaptive{}, p, w, Options{
-		Horizon: 20, Adaptive: true, Feedback: model.CollisionDetection,
+		Horizon: 20, Adaptive: true, Channel: model.CD(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -198,7 +198,7 @@ func TestRunAdaptiveWithoutCDMasksCollisions(t *testing.T) {
 	p := model.Params{N: 4, S: -1}
 	w := model.Simultaneous([]int{1, 2}, 0)
 	res, _, err := Run(parityAdaptive{}, p, w, Options{
-		Horizon: 20, Adaptive: true, Feedback: model.NoCollisionDetection,
+		Horizon: 20, Adaptive: true, Channel: model.None(),
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -117,21 +117,36 @@ func (a Aggregate) Wire() AggregateWire {
 	}
 }
 
-// Aggregate validates the wire form and converts it back. Validation guards
-// the merge path against hand-edited or truncated shard files: the sample
-// count must match the trial counter, successes must fit in trials, and
-// samples must be finite.
-func (w AggregateWire) Aggregate() (Aggregate, error) {
+// Validate checks the wire form's internal integrity without converting it:
+// the sample count must match the trial counter, successes must fit in
+// trials, the waste counters must be non-negative, and samples must be
+// finite. It is the envelope integrity check the dispatch layer runs before
+// trusting a shard file found on disk (resume) or streamed back from a
+// remote executor.
+func (w AggregateWire) Validate() error {
 	if w.Trials < 0 || w.Successes < 0 || w.Successes > w.Trials {
-		return Aggregate{}, fmt.Errorf("stats: inconsistent wire counters (trials=%d successes=%d)", w.Trials, w.Successes)
+		return fmt.Errorf("stats: inconsistent wire counters (trials=%d successes=%d)", w.Trials, w.Successes)
 	}
 	if len(w.Rounds) != w.Trials {
-		return Aggregate{}, fmt.Errorf("stats: wire has %d round samples for %d trials", len(w.Rounds), w.Trials)
+		return fmt.Errorf("stats: wire has %d round samples for %d trials", len(w.Rounds), w.Trials)
+	}
+	if w.Collisions < 0 || w.Silences < 0 || w.Transmissions < 0 || w.Listens < 0 {
+		return fmt.Errorf("stats: negative wire counter (collisions=%d silences=%d transmissions=%d listens=%d)",
+			w.Collisions, w.Silences, w.Transmissions, w.Listens)
 	}
 	for _, r := range w.Rounds {
 		if math.IsNaN(r) || math.IsInf(r, 0) {
-			return Aggregate{}, fmt.Errorf("stats: non-finite round sample %v", r)
+			return fmt.Errorf("stats: non-finite round sample %v", r)
 		}
+	}
+	return nil
+}
+
+// Aggregate validates the wire form and converts it back. Validation guards
+// the merge path against hand-edited or truncated shard files; see Validate.
+func (w AggregateWire) Aggregate() (Aggregate, error) {
+	if err := w.Validate(); err != nil {
+		return Aggregate{}, err
 	}
 	return Aggregate{
 		Trials:        w.Trials,

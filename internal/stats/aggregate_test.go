@@ -180,6 +180,21 @@ func TestAggregateWireValidation(t *testing.T) {
 	if _, err := bad.Aggregate(); err == nil {
 		t.Error("Inf sample accepted")
 	}
+
+	bad = a.Wire()
+	bad.Transmissions = -1
+	if _, err := bad.Aggregate(); err == nil {
+		t.Error("negative counter accepted")
+	}
+
+	// Validate is the same check without the conversion: a good wire form
+	// passes, each bad one above fails identically.
+	if err := a.Wire().Validate(); err != nil {
+		t.Errorf("valid wire form rejected: %v", err)
+	}
+	if err := bad.Validate(); err == nil {
+		t.Error("Validate passed a form Aggregate rejects")
+	}
 }
 
 // TestAggregateWireIsolated: the wire form must not alias the live

@@ -130,7 +130,9 @@ func (r *ShardResult) Encode() ([]byte, error) {
 }
 
 // DecodeShardResult decodes one envelope strictly (unknown fields and
-// trailing data are errors).
+// trailing data are errors) and validates its internal consistency, so a
+// truncated, hand-edited or partially-written shard file is rejected at the
+// boundary rather than poisoning a merge or a resumed run.
 func DecodeShardResult(data []byte) (*ShardResult, error) {
 	var r ShardResult
 	dec := json.NewDecoder(bytes.NewReader(data))
@@ -141,19 +143,59 @@ func DecodeShardResult(data []byte) (*ShardResult, error) {
 	if dec.More() {
 		return nil, fmt.Errorf("sweep: trailing data after shard envelope")
 	}
+	if err := r.Validate(); err != nil {
+		return nil, err
+	}
 	return &r, nil
 }
 
-// RunShard executes shard index of count of the grid and wraps the outcome
-// in its serializable envelope. Shards with no trials (index >= Trials)
-// return an envelope of zero aggregates without executing anything.
-func (g Grid) RunShard(index, count int) (*ShardResult, error) {
+// Validate checks the envelope's internal consistency: legal plan
+// coordinates, a non-empty fingerprint, and per-cell wire aggregates that
+// pass the stats integrity check and carry exactly the trial count the
+// striped plan assigns this shard. It does not (and cannot) prove the cells
+// were computed by the right grid — that is what the fingerprint comparison
+// in Merge and the dispatch driver is for.
+func (r *ShardResult) Validate() error {
+	if r.Shards < 1 {
+		return fmt.Errorf("sweep: shard envelope declares %d shards", r.Shards)
+	}
+	if r.Shard < 0 || r.Shard >= r.Shards {
+		return fmt.Errorf("sweep: shard index %d out of [0, %d)", r.Shard, r.Shards)
+	}
+	if r.Trials < 0 {
+		return fmt.Errorf("sweep: shard envelope declares %d trials", r.Trials)
+	}
+	if r.Fingerprint == "" {
+		return fmt.Errorf("sweep: shard envelope has no grid fingerprint")
+	}
+	want := ShardTrials(r.Trials, r.Shard, r.Shards)
+	for i, c := range r.Cells {
+		if err := c.Agg.Validate(); err != nil {
+			return fmt.Errorf("sweep: shard %d cell %d: %w", r.Shard, i, err)
+		}
+		if c.Agg.Trials != want {
+			return fmt.Errorf("sweep: shard %d cell %d carries %d trials, plan says %d",
+				r.Shard, i, c.Agg.Trials, want)
+		}
+	}
+	return nil
+}
+
+// PlanEnvelope builds the identity half of shard index of count's envelope —
+// fingerprint, name, axes, plan coordinates, full trial count, and the cell
+// labels with zero aggregates — without executing anything. RunShard fills
+// the aggregates in (a zero-trial shard ships the bare envelope as is), and
+// callers that need to know what an envelope for this grid must look like
+// without running it can compare against these identity fields.
+func (g Grid) PlanEnvelope(index, count int) (*ShardResult, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
-	sg, err := g.Shard(index, count)
-	if err != nil {
-		return nil, err
+	if count < 1 {
+		return nil, fmt.Errorf("sweep: shard count %d, want >= 1", count)
+	}
+	if index < 0 || index >= count {
+		return nil, fmt.Errorf("sweep: shard index %d out of [0, %d)", index, count)
 	}
 	out := &ShardResult{
 		Fingerprint: g.Fingerprint(),
@@ -164,10 +206,25 @@ func (g Grid) RunShard(index, count int) (*ShardResult, error) {
 		Trials:      g.Trials,
 		Cells:       make([]ShardCell, len(g.Cells)),
 	}
+	for i, cell := range g.Cells {
+		out.Cells[i] = ShardCell{Cell: append([]string(nil), cell...)}
+	}
+	return out, nil
+}
+
+// RunShard executes shard index of count of the grid and wraps the outcome
+// in its serializable envelope. Shards with no trials (index >= Trials)
+// return an envelope of zero aggregates without executing anything.
+func (g Grid) RunShard(index, count int) (*ShardResult, error) {
+	out, err := g.PlanEnvelope(index, count)
+	if err != nil {
+		return nil, err
+	}
+	sg, err := g.Shard(index, count)
+	if err != nil {
+		return nil, err
+	}
 	if sg.Trials == 0 {
-		for i, cell := range g.Cells {
-			out.Cells[i] = ShardCell{Cell: append([]string(nil), cell...)}
-		}
 		return out, nil
 	}
 	res, err := sg.Execute()

@@ -278,16 +278,138 @@ func TestMergeValidation(t *testing.T) {
 	}
 }
 
-// TestDecodeShardResultErrors covers the envelope decode error paths.
+// TestDecodeShardResultErrors covers the envelope decode error paths,
+// including the hardening pass: an envelope that parses as JSON but is
+// internally inconsistent — illegal plan coordinates, aggregates that
+// disagree with the striped plan — is rejected at decode, before it can
+// reach a merge or satisfy a resume.
 func TestDecodeShardResultErrors(t *testing.T) {
 	for _, bad := range []string{
 		`{"fingerprint":`,
 		`{"fingerprint":"x","bogus":1}`,
 		`{"fingerprint":"x"}{"fingerprint":"y"}`,
+		// Hardening: syntactically fine, semantically broken.
+		`{"fingerprint":"x","name":"g","axes":[],"shard":0,"shards":0,"trials":4,"cells":[]}`,
+		`{"fingerprint":"x","name":"g","axes":[],"shard":3,"shards":3,"trials":4,"cells":[]}`,
+		`{"fingerprint":"x","name":"g","axes":[],"shard":-1,"shards":3,"trials":4,"cells":[]}`,
+		`{"fingerprint":"x","name":"g","axes":[],"shard":0,"shards":3,"trials":-4,"cells":[]}`,
+		`{"fingerprint":"","name":"g","axes":[],"shard":0,"shards":3,"trials":4,"cells":[]}`,
+		// A cell carrying more trials than the striped plan assigns shard 1
+		// of 3 out of 4 (namely 1).
+		`{"fingerprint":"x","name":"g","axes":["k"],"shard":1,"shards":3,"trials":4,"cells":[
+			{"cell":["2"],"agg":{"trials":2,"successes":2,"rounds":[1,2],"collisions":0,"silences":0,"transmissions":2,"listens":0}}]}`,
+		// A cell whose sample count disagrees with its own trial counter
+		// (the stats wire integrity check).
+		`{"fingerprint":"x","name":"g","axes":["k"],"shard":1,"shards":3,"trials":4,"cells":[
+			{"cell":["2"],"agg":{"trials":1,"successes":1,"rounds":[],"collisions":0,"silences":0,"transmissions":1,"listens":0}}]}`,
 	} {
 		if _, err := sweep.DecodeShardResult([]byte(bad)); err == nil {
 			t.Errorf("decoded %q", bad)
 		}
+	}
+}
+
+// TestShardTrialsWiderPlans pins the striped plan's edge arithmetic when the
+// plan is wider than the trial count: exactly the first `trials` shards get
+// one trial, the rest get zero, and the zero-trial envelopes still validate.
+func TestShardTrialsWiderPlans(t *testing.T) {
+	for _, tc := range []struct {
+		trials, index, count, want int
+	}{
+		{2, 0, 5, 1}, {2, 1, 5, 1}, {2, 2, 5, 0}, {2, 4, 5, 0},
+		{1, 0, 8, 1}, {1, 7, 8, 0},
+		{5, 0, 2, 3}, {5, 1, 2, 2}, // uneven split, striped
+		{4, 3, 4, 1}, // exact split boundary
+	} {
+		if got := sweep.ShardTrials(tc.trials, tc.index, tc.count); got != tc.want {
+			t.Errorf("ShardTrials(%d, %d, %d) = %d, want %d", tc.trials, tc.index, tc.count, got, tc.want)
+		}
+	}
+
+	// A zero-trial shard's envelope survives the full wire path and the
+	// hardened validation.
+	spec := shardSpec(t)
+	spec.Trials = 2
+	sr, err := spec.Shard(4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Validate(); err != nil {
+		t.Fatalf("empty shard envelope invalid: %v", err)
+	}
+	data, err := sr.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sweep.DecodeShardResult(data); err != nil {
+		t.Fatalf("empty shard envelope rejected at decode: %v", err)
+	}
+}
+
+// TestPlanEnvelope: the identity-only envelope matches what RunShard emits,
+// minus the aggregates.
+func TestPlanEnvelope(t *testing.T) {
+	g, err := shardSpec(t).Grid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := g.PlanEnvelope(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran, err := g.RunShard(1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Fingerprint != ran.Fingerprint || plan.Name != ran.Name ||
+		plan.Shard != ran.Shard || plan.Shards != ran.Shards || plan.Trials != ran.Trials {
+		t.Fatalf("plan identity %+v differs from run identity %+v", plan, ran)
+	}
+	if !reflect.DeepEqual(plan.Axes, ran.Axes) {
+		t.Fatalf("axes %v vs %v", plan.Axes, ran.Axes)
+	}
+	if len(plan.Cells) != len(ran.Cells) {
+		t.Fatalf("%d planned cells, %d run cells", len(plan.Cells), len(ran.Cells))
+	}
+	for i := range plan.Cells {
+		if !reflect.DeepEqual(plan.Cells[i].Cell, ran.Cells[i].Cell) {
+			t.Fatalf("cell %d labels %v vs %v", i, plan.Cells[i].Cell, ran.Cells[i].Cell)
+		}
+		if plan.Cells[i].Agg.Trials != 0 {
+			t.Fatalf("plan envelope cell %d carries trials", i)
+		}
+	}
+	if _, err := g.PlanEnvelope(3, 3); err == nil {
+		t.Error("out-of-range plan accepted")
+	}
+	if _, err := g.PlanEnvelope(0, 0); err == nil {
+		t.Error("zero-count plan accepted")
+	}
+}
+
+// TestMergeRejectsOverlappingShards: shards whose coordinates overlap (the
+// same stripe submitted under two indices, or an index outside the plan)
+// cannot reassemble into a full grid.
+func TestMergeRejectsOverlappingShards(t *testing.T) {
+	spec := shardSpec(t)
+	shards := runShards(t, spec, 3)
+
+	// Same stripe under two indices: relabeling shard 0 as shard 2 makes
+	// indices {0, 1, 2} but the per-cell trial counts no longer match the
+	// plan for index 2 (striping gives shard 0 of 5 trials 2, shard 2 only
+	// 1), so the merge must refuse.
+	relabel := *shards[0]
+	relabel.Shard = 2
+	if _, err := sweep.Merge(shards[0], shards[1], &relabel); err == nil {
+		t.Error("overlapping stripe accepted")
+	}
+
+	// An index outside the plan can never form 0..m-1.
+	outside := *shards[2]
+	outside.Shard = 7
+	outside.Shards = 3
+	if _, err := sweep.Merge(shards[0], shards[1], &outside); err == nil {
+		t.Error("out-of-plan index accepted")
 	}
 }
 

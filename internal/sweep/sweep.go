@@ -178,20 +178,41 @@ func (g Grid) batchSize(workers int) int {
 	return b
 }
 
+// cellCounters is one cell's concurrently-accumulated aggregate counters.
+// Workers add their batch-local sums once per claimed work item; integer
+// addition is commutative and exact, so the totals are independent of the
+// schedule. The per-trial round samples are NOT here — they land in a flat
+// arena at their (cell, trial) index, preserving trial order.
+type cellCounters struct {
+	successes     atomic.Int64
+	collisions    atomic.Int64
+	silences      atomic.Int64
+	transmissions atomic.Int64
+	listens       atomic.Int64
+}
+
 // Execute runs the grid: work items — batches of up to Batch consecutive
 // trials of one cell — are sharded over the worker pool, and each trial runs
 // with a seed derived from (Seed, cell, trial). Every sample lands at its
-// (cell, trial) index and aggregation walks cells and trials in declaration
-// order after the pool drains, so neither the schedule nor the batch
-// geometry ever influences the result.
+// (cell, trial) index, so neither the schedule nor the batch geometry ever
+// influences the result.
+//
+// Aggregation is folded into the workers: each batch accumulates its counter
+// sums locally and publishes them with one atomic add per counter, and each
+// trial writes its round sample straight into the cell's aggregate slot in
+// trial order. The post-drain pass therefore only assembles per-cell
+// Aggregate headers — it no longer re-walks every sample — and the output is
+// bit-identical to the former walk: same counter totals (exact integer
+// sums), same Rounds values in the same (trial) order.
 func (g Grid) Execute() (*Result, error) {
 	if err := g.Validate(); err != nil {
 		return nil, err
 	}
 	res := &Result{Name: g.Name, Axes: g.Axes, Cells: make([]CellResult, len(g.Cells))}
-	// One flat sample arena, subsliced per cell: a grid costs O(1) result
-	// allocations instead of one per cell.
+	// One flat sample arena (and one rounds arena), subsliced per cell: a
+	// grid costs O(1) result allocations instead of one per cell.
 	arena := make([]Sample, len(g.Cells)*g.Trials)
+	rounds := make([]float64, len(g.Cells)*g.Trials)
 	for ci, labels := range g.Cells {
 		res.Cells[ci] = CellResult{Cell: labels, Samples: arena[ci*g.Trials : (ci+1)*g.Trials : (ci+1)*g.Trials]}
 	}
@@ -209,6 +230,7 @@ func (g Grid) Execute() (*Result, error) {
 	if workers > items {
 		workers = items
 	}
+	counters := make([]cellCounters, len(g.Cells))
 
 	// Work items are claimed off an atomic cursor rather than a channel: a
 	// claim is one fetch-add, so at high worker counts tiny trials no longer
@@ -234,23 +256,46 @@ func (g Grid) Execute() (*Result, error) {
 				if hi > g.Trials {
 					hi = g.Trials
 				}
+				var succ, col, sil, tx, lis int64
 				for trial := lo; trial < hi; trial++ {
 					seed := TrialSeed(g.Seed, ci, trial)
+					var s Sample
 					if eng != nil {
-						res.Cells[ci].Samples[trial] = g.RunEngine(eng, ci, trial, seed)
+						s = g.RunEngine(eng, ci, trial, seed)
 					} else {
-						res.Cells[ci].Samples[trial] = g.Run(ci, trial, seed)
+						s = g.Run(ci, trial, seed)
 					}
+					res.Cells[ci].Samples[trial] = s
+					rounds[ci*g.Trials+trial] = float64(s.Rounds)
+					if s.OK {
+						succ++
+					}
+					col += s.Collisions
+					sil += s.Silences
+					tx += s.Transmissions
+					lis += s.Listens
 				}
+				c := &counters[ci]
+				c.successes.Add(succ)
+				c.collisions.Add(col)
+				c.silences.Add(sil)
+				c.transmissions.Add(tx)
+				c.listens.Add(lis)
 			}
 		}()
 	}
 	wg.Wait()
 
 	for ci := range res.Cells {
-		res.Cells[ci].Agg.Reserve(g.Trials)
-		for _, s := range res.Cells[ci].Samples {
-			res.Cells[ci].Agg.AddTrial(float64(s.Rounds), s.OK, s.Collisions, s.Silences, s.Transmissions, s.Listens)
+		c := &counters[ci]
+		res.Cells[ci].Agg = stats.Aggregate{
+			Trials:        g.Trials,
+			Successes:     int(c.successes.Load()),
+			Rounds:        rounds[ci*g.Trials : (ci+1)*g.Trials : (ci+1)*g.Trials],
+			Collisions:    c.collisions.Load(),
+			Silences:      c.silences.Load(),
+			Transmissions: c.transmissions.Load(),
+			Listens:       c.listens.Load(),
 		}
 	}
 	return res, nil

@@ -98,7 +98,7 @@ func TestPublicAPITreeCD(t *testing.T) {
 	p := Params{N: 64, S: -1}
 	w := Simultaneous([]int{1, 33, 64}, 0)
 	res, _, err := Run(NewTreeCD(), p, w, RunOptions{
-		Horizon: 1000, Adaptive: true, Feedback: CollisionDetection,
+		Horizon: 1000, Adaptive: true, Channel: ChannelCD(),
 	})
 	if err != nil || !res.Succeeded {
 		t.Fatalf("tree cd: %+v, %v", res, err)

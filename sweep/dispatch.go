@@ -1,0 +1,75 @@
+package sweep
+
+import (
+	"os"
+
+	"nsmac/internal/dispatch"
+)
+
+// Distributed shard dispatch (aliases into nsmac/internal/dispatch): run a
+// spec document's trial-striped shard plan through a pluggable Executor —
+// in-process, one subprocess per shard, or an arbitrary command template
+// (ssh, kubectl) — persist the envelopes in a resumable RunStore, and merge
+// to output byte-identical to the single-process run.
+//
+//	doc, _ := sweep.ParseSpecDoc(data)
+//	store := &sweep.RunStore{Dir: "runs"}
+//	d := &sweep.Driver{
+//	    Exec:        sweep.Subprocess{Binary: "./wakeup-bench"},
+//	    Store:       store,
+//	    Resume:      true, // re-run only missing or corrupt shards
+//	    Concurrency: 3,
+//	}
+//	res, _ := d.Run(ctx, doc, 8)   // 8-shard plan
+//	fmt.Print(res.Text())          // == the one-process run, byte for byte
+//
+// The same machinery backs `wakeup-bench run -spec grid.json -shards m
+// -exec ... -store dir -resume`.
+type (
+	// Executor runs one shard of a plan and returns its envelope.
+	Executor = dispatch.Executor
+	// ShardPlan identifies one shard: spec document, grid fingerprint, and
+	// plan coordinates.
+	ShardPlan = dispatch.ShardPlan
+	// Local executes shards in-process under a worker budget.
+	Local = dispatch.Local
+	// Subprocess executes each shard by exec'ing a shard binary with
+	// -spec/-shard/-out and decoding the envelope it writes.
+	Subprocess = dispatch.Subprocess
+	// Command executes each shard through a user argv template (ssh,
+	// kubectl, ...) that streams the envelope JSON over stdout.
+	Command = dispatch.Command
+	// RunStore persists shard envelopes under
+	// <dir>/<grid-fingerprint>/<i>-of-<m>.json with atomic writes, making
+	// runs resumable.
+	RunStore = dispatch.RunStore
+	// Driver executes a full shard plan: bounded concurrency, per-shard
+	// attempt caps, progress callbacks, resume, context cancellation.
+	Driver = dispatch.Driver
+	// Event is one driver progress notification.
+	Event = dispatch.Event
+	// EventState classifies a driver progress event.
+	EventState = dispatch.EventState
+)
+
+// Driver progress event states.
+const (
+	EventCached = dispatch.EventCached
+	EventStart  = dispatch.EventStart
+	EventDone   = dispatch.EventDone
+	EventRetry  = dispatch.EventRetry
+	EventFailed = dispatch.EventFailed
+)
+
+// PlanShards resolves the document and returns its count-shard plan plus
+// the skip lines for dropped cell combinations.
+func PlanShards(doc SpecDoc, count int) ([]ShardPlan, []string, error) {
+	return dispatch.PlanShards(doc, count)
+}
+
+// WriteFileAtomic writes data to path via a temp file in the same directory
+// plus a rename, so a killed writer can never leave a truncated file — the
+// discipline every shard-envelope writer (both CLIs included) follows.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	return dispatch.WriteFileAtomic(path, data, perm)
+}
