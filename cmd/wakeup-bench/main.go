@@ -78,6 +78,7 @@ func main() {
 		shardArg = flag.String("shard", "", "run only shard i of m of the grid, as \"i/m\", and emit a shard envelope (requires -spec or -algos)")
 		outFile  = flag.String("out", "", "write output to this file instead of stdout")
 		dumpSpec = flag.Bool("dump-spec", false, "emit the selected grid as a reusable spec document and exit (requires -spec or -algos)")
+		noKernel = flag.Bool("no-kernel", false, "force the slot-by-slot engine for every cell, bypassing the bitset slot kernel (output is byte-identical either way; useful for differential checks and timing)")
 	)
 	flag.Parse()
 	if flag.NArg() > 0 {
@@ -108,6 +109,7 @@ func main() {
 	if gridMode {
 		spec := buildSpec(*specFile, *algos, *ns, *ks, *patterns, *channels, *trials, *seed)
 		spec.Workers, spec.Batch = *workers, *batch
+		spec.DisableKernel = *noKernel
 		runGrid(spec, *shardArg, *dumpSpec, *format, *outFile)
 		return
 	}

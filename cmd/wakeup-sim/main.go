@@ -265,7 +265,7 @@ func runSingle(algoName, pattern string, ch model.ChannelModel, n, k int, s, gap
 	if showTr {
 		fmt.Println("\ntranscript:")
 		fmt.Println(trace.Legend())
-		fmt.Println(trace.Timeline(runCh.Trace(), 100))
+		fmt.Println(trace.TimelineOf(runCh, 100))
 	}
 
 	if render {

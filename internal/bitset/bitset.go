@@ -202,13 +202,62 @@ func (b *Bitset) Slice() []int {
 
 // Min returns the smallest element, or 0 if the set is empty.
 func (b *Bitset) Min() int {
-	for i, w := range b.words {
-		if w != 0 {
-			return i<<6 + bits.TrailingZeros64(w) + 1
+	return b.NextSet(1)
+}
+
+// NextSet returns the smallest element >= x, or 0 if there is none. x may be
+// n+1 (the scan past the last element), which always returns 0.
+func (b *Bitset) NextSet(x int) int {
+	if x < 1 || x > b.n+1 {
+		panic(fmt.Sprintf("bitset: scan start %d out of range [1,%d]", x, b.n+1))
+	}
+	i := x - 1
+	wi := i >> 6
+	if wi < len(b.words) {
+		if w := b.words[wi] >> uint(i&63); w != 0 {
+			return i + bits.TrailingZeros64(w) + 1
+		}
+		for wi++; wi < len(b.words); wi++ {
+			if w := b.words[wi]; w != 0 {
+				return wi<<6 + bits.TrailingZeros64(w) + 1
+			}
 		}
 	}
 	return 0
 }
+
+// WordMask returns the 64-bit mask with bits [lo, hi) set (word-local bit
+// indices, 0 <= lo <= hi <= 64) — the slot-window mask of the word-wide
+// kernel step.
+func WordMask(lo, hi uint) uint64 {
+	if lo > hi || hi > 64 {
+		panic(fmt.Sprintf("bitset: bad word mask [%d,%d)", lo, hi))
+	}
+	if lo == hi {
+		return 0
+	}
+	return (^uint64(0) << lo) & (^uint64(0) >> (64 - hi))
+}
+
+// SoloScan accumulates per-slot transmitter multiplicity word-wide: feed it
+// one transmit word per station (bit t set = that station transmits in slot
+// t) and it tracks, per bit, whether at least one (Any) and more than one
+// (Multi) station transmits — so Solo() is exactly the slots with a single
+// transmitter. This is the kernel's first-success primitive: 2 bitwise ops
+// per station-word instead of a per-station virtual call per slot.
+type SoloScan struct {
+	Any   uint64
+	Multi uint64
+}
+
+// Add accumulates one station's transmit word.
+func (s *SoloScan) Add(w uint64) {
+	s.Multi |= s.Any & w
+	s.Any |= w
+}
+
+// Solo returns the bits where exactly one accumulated word was set.
+func (s *SoloScan) Solo() uint64 { return s.Any &^ s.Multi }
 
 // String renders the set in {1,5,9} notation, for test failure messages.
 func (b *Bitset) String() string {

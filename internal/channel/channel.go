@@ -50,11 +50,12 @@ const maxTrace = 1 << 16
 
 // Channel arbitrates slots and accumulates statistics.
 type Channel struct {
-	model   model.ChannelModel
-	perturb model.SlotPerturber // cached capability; nil for inert models
-	state   model.ChannelState
-	record  bool
-	trace   []Event
+	model     model.ChannelModel
+	perturb   model.SlotPerturber // cached capability; nil for inert models
+	state     model.ChannelState
+	record    bool
+	trace     []Event
+	truncated bool // recording hit maxTrace; the transcript is a prefix
 
 	slots      int64
 	successes  int64
@@ -87,6 +88,7 @@ func (c *Channel) Reset(m model.ChannelModel, record bool, seed uint64) {
 	c.state.Reset(seed)
 	c.record = record
 	c.trace = c.trace[:0]
+	c.truncated = false
 	c.slots, c.successes, c.collisions, c.silences = 0, 0, 0, 0
 }
 
@@ -125,9 +127,13 @@ func (c *Channel) Resolve(slot int64, transmitters []int) (model.Feedback, int) 
 	default:
 		c.collisions++
 	}
-	if c.record && len(c.trace) < maxTrace {
-		ts := append([]int(nil), transmitters...)
-		c.trace = append(c.trace, Event{Slot: slot, Transmitters: ts, Truth: truth, Winner: winner})
+	if c.record {
+		if len(c.trace) < maxTrace {
+			ts := append([]int(nil), transmitters...)
+			c.trace = append(c.trace, Event{Slot: slot, Transmitters: ts, Truth: truth, Winner: winner})
+		} else {
+			c.truncated = true
+		}
 	}
 	return truth, winner
 }
@@ -150,6 +156,14 @@ func (c *Channel) Observed(truth model.Feedback) model.Feedback {
 // Trace returns the recorded transcript (empty unless recording was
 // enabled; nil if recording was never enabled on this channel).
 func (c *Channel) Trace() []Event { return c.trace }
+
+// Truncated reports whether recording hit the transcript bound: the trace is
+// then the run's first maxTrace slots, not the whole run. Renderers and
+// verifiers must consult this before treating the transcript as complete.
+func (c *Channel) Truncated() bool { return c.truncated }
+
+// TraceCap returns the transcript bound (the maximum events Trace can hold).
+func TraceCap() int { return maxTrace }
 
 // Slots returns the number of resolved slots.
 func (c *Channel) Slots() int64 { return c.slots }

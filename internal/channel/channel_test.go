@@ -178,6 +178,9 @@ func TestTraceBounded(t *testing.T) {
 	if c.Slots() != maxTrace+100 {
 		t.Error("slot counter must keep counting past the trace cap")
 	}
+	if !c.Truncated() {
+		t.Error("Truncated() must report the dropped events")
+	}
 }
 
 func TestTraceTruncationBoundary(t *testing.T) {
@@ -190,6 +193,9 @@ func TestTraceTruncationBoundary(t *testing.T) {
 	}
 	if got := len(c.Trace()); got != maxTrace {
 		t.Fatalf("trace holds %d events at the cap, want %d", got, maxTrace)
+	}
+	if c.Truncated() {
+		t.Error("exactly-full transcript must not report truncation: no event was dropped")
 	}
 	c.Resolve(maxTrace, []int{7})      // success, beyond the cap
 	c.Resolve(maxTrace+1, []int{1, 2}) // collision, beyond the cap
@@ -204,6 +210,16 @@ func TestTraceTruncationBoundary(t *testing.T) {
 	if c.Slots() != maxTrace+3 || c.Successes() != 1 || c.Collisions() != 1 || c.Silences() != maxTrace+1 {
 		t.Errorf("stats stopped at the trace cap: slots=%d succ=%d coll=%d sil=%d",
 			c.Slots(), c.Successes(), c.Collisions(), c.Silences())
+	}
+	if !c.Truncated() {
+		t.Error("Truncated() must flip once an event is dropped at the cap")
+	}
+	c.Reset(model.None(), true, 0)
+	if c.Truncated() {
+		t.Error("Reset must clear the truncation flag")
+	}
+	if TraceCap() != maxTrace {
+		t.Errorf("TraceCap() = %d, want %d", TraceCap(), maxTrace)
 	}
 }
 

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"nsmac/internal/model"
+	"nsmac/internal/schedule"
+)
+
+// TestScheduleClasses pins each roster algorithm's advertised schedule
+// class: the kernel's memoization policy (what may be cached across trials,
+// what must key on the wake slot) hangs off these three bits, so changing
+// one is a correctness decision, not a refactor.
+func TestScheduleClasses(t *testing.T) {
+	cases := []struct {
+		algo          model.Algorithm
+		ok            bool
+		seedSensitive bool
+		wakeSensitive bool
+		localClock    bool
+	}{
+		{NewRoundRobin(), true, false, false, false},
+		{NewSelectAmongFirst(), true, true, true, false},
+		{NewWaitAndGo(), true, true, true, false},
+		{NewWakeupC(), true, true, true, false},
+		{NewRPD(), true, true, true, false},
+		{NewRPDWithK(), true, true, true, false},
+		{NewBEB(), true, true, true, false},
+		// The locally-synchronized baseline is the canonical local-clock
+		// schedule: one bitmap per station, shifted per wake.
+		{NewLocalSSF(), true, false, true, true},
+		{NewWakeupWithS(), true, true, true, false},
+		{NewWakeupWithK(), true, true, true, false},
+		{NewTreeCD(), false, false, false, false},
+		{NewKGConflictResolution(), false, false, false, false},
+		// Wrappers delegate: skew over a seed-invariant inner stays
+		// seed-invariant only at zero skew; a constant shift (skew, delay)
+		// preserves the local-clock shape, interleaving's global parity
+		// dispatch destroys it.
+		{NewClockSkewed(NewRoundRobin(), 0), true, false, false, false},
+		{NewClockSkewed(NewRoundRobin(), 3), true, true, false, false},
+		{NewClockSkewed(NewLocalSSF(), 0), true, false, true, true},
+		{NewClockSkewed(NewTreeCD(), 3), false, false, false, false},
+		{schedule.NewDelayed(NewRoundRobin(), 2), true, false, true, false},
+		{schedule.NewDelayed(NewLocalSSF(), 2), true, false, true, true},
+		{schedule.NewDelayed(NewTreeCD(), 2), false, false, false, false},
+		{schedule.NewInterleaved("rr+rr", NewRoundRobin(), NewRoundRobin()), true, false, true, false},
+		{schedule.NewInterleaved("rr+tree", NewRoundRobin(), NewTreeCD()), false, false, false, false},
+	}
+	for _, c := range cases {
+		class, ok := model.AlgorithmClass(c.algo)
+		if ok != c.ok {
+			t.Errorf("%s: oblivious = %v, want %v", c.algo.Name(), ok, c.ok)
+			continue
+		}
+		if !ok {
+			continue
+		}
+		if class.SeedSensitive != c.seedSensitive || class.WakeSensitive != c.wakeSensitive ||
+			class.LocalClock != c.localClock {
+			t.Errorf("%s: class = %+v, want seed=%v wake=%v local=%v",
+				c.algo.Name(), class, c.seedSensitive, c.wakeSensitive, c.localClock)
+		}
+	}
+}
+
+// TestScheduleClassConfigSeparatesKnobs: constructor knobs invisible in
+// Name() must show up in the Config fingerprint, or the kernel's memo cache
+// would conflate differently-configured instances.
+func TestScheduleClassConfigSeparatesKnobs(t *testing.T) {
+	conf := func(a model.Algorithm) uint64 {
+		class, ok := model.AlgorithmClass(a)
+		if !ok {
+			t.Fatalf("%s not oblivious", a.Name())
+		}
+		return class.Config
+	}
+	pairs := []struct {
+		name string
+		a, b model.Algorithm
+	}{
+		{"SelectAmongFirst.SizeMult", &SelectAmongFirst{}, &SelectAmongFirst{SizeMult: 1.5}},
+		{"WaitAndGo.SizeMult", &WaitAndGo{}, &WaitAndGo{SizeMult: 2}},
+		{"WakeupC.C", &WakeupC{}, &WakeupC{C: 5}},
+		{"BEB.CapLog", &BEB{}, &BEB{CapLog: 9}},
+		{"LocalSSF.MaxI", &LocalSSF{}, &LocalSSF{MaxI: 4}},
+		{"ClockSkewed.MaxSkew", NewClockSkewed(NewRoundRobin(), 1), NewClockSkewed(NewRoundRobin(), 2)},
+		{"Delayed.delay", schedule.NewDelayed(NewRoundRobin(), 1), schedule.NewDelayed(NewRoundRobin(), 2)},
+		{"Interleaved components", schedule.NewInterleaved("x", NewRoundRobin(), &BEB{}),
+			schedule.NewInterleaved("x", NewRoundRobin(), &BEB{CapLog: 9})},
+	}
+	for _, p := range pairs {
+		if conf(p.a) == conf(p.b) {
+			t.Errorf("%s: identical Config fingerprints for distinct knobs", p.name)
+		}
+	}
+}

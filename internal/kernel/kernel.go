@@ -1,0 +1,481 @@
+// Package kernel executes wake-up trials of oblivious algorithms word-wide.
+//
+// An oblivious algorithm's transmit schedule is a pure function of (params,
+// id, wake, slot, per-station stream) — never of channel feedback — so the
+// kernel renders each station's schedule once into a packed bitmap (bit t =
+// "transmits in slot t") and then steps the channel 64 slots at a time:
+// finding the first solo-transmission slot is an AND/OR scan over station
+// words, and the Result counters (transmissions, listens, collisions,
+// silences — energy derives from the first two) are popcounts. No
+// per-station virtual call per slot remains.
+//
+// Schedules of seed-INsensitive algorithms (round-robin, the deterministic
+// Kautz–Singleton baseline) are additionally memoized across trials in a
+// bounded cache keyed by the algorithm's name + config fingerprint and the
+// schedule's (params, id, wake) inputs, so a cell's later trials skip even
+// the render. Seed-sensitive schedules (selective-family ladders, the
+// Scenario C matrix, RPD/BEB personal hashes) re-render per trial on pooled
+// scratch bitmaps — still paying the per-slot closure only once per slot per
+// station instead of once per slot per station per scan of the step loop.
+//
+// The kernel is a drop-in behavioural twin of sim.Engine for its eligible
+// inputs: identical validation, identical Result counters at every partial
+// horizon, identical Done/Slot semantics. internal/sweep routes eligible
+// cells here automatically and keeps the engine for everything else.
+package kernel
+
+import (
+	"fmt"
+	"math/bits"
+
+	"nsmac/internal/bitset"
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+	"nsmac/internal/sim"
+)
+
+// maxCacheWords bounds the memo cache's bitmap memory per kernel (16 MiB of
+// schedule words). Exceeding it clears the cache wholesale — cheap, and a
+// kernel that overflows it is sweeping so many distinct (n, id, wake) cells
+// that reuse was marginal anyway.
+const maxCacheWords = 1 << 21
+
+// maxCacheEntries bounds the memo map's entry count independently of bitmap
+// size (tiny horizons could otherwise grow the map without bound).
+const maxCacheEntries = 1 << 16
+
+// sched is one station's rendered schedule: words[t>>6] bit t&63 is set iff
+// the station transmits in global slot t. Rendering is lazy — extendTo
+// renders [rendered, limit) on demand — because a trial usually succeeds
+// long before the horizon.
+type sched struct {
+	fn       model.TransmitFunc
+	wake     int64 // first slot fn is queried at (0 for wake-insensitive memos)
+	words    []uint64
+	rendered int64 // slots [0, rendered) are rendered (below wake: zero)
+}
+
+// extendTo ensures slots [0, limit) are rendered.
+func (sc *sched) extendTo(limit int64) {
+	if limit <= sc.rendered {
+		return
+	}
+	need := int((limit + 63) >> 6)
+	if cap(sc.words) < need {
+		grown := make([]uint64, need, max(need, 2*cap(sc.words)))
+		copy(grown, sc.words)
+		sc.words = grown
+	} else {
+		old := len(sc.words)
+		sc.words = sc.words[:need]
+		for i := old; i < need; i++ {
+			sc.words[i] = 0 // pooled scratch may hold stale bits past len
+		}
+	}
+	t := sc.rendered
+	if t < sc.wake {
+		t = sc.wake
+	}
+	for ; t < limit; t++ {
+		if sc.fn(t) {
+			sc.words[t>>6] |= 1 << uint(t&63)
+		}
+	}
+	sc.rendered = limit
+}
+
+// The memo cache is two-level so the per-station lookup never hashes a
+// string: a bucket identifies the cell-wide schedule inputs (algorithm
+// name + config fingerprint + params) and is resolved once per Reset; the
+// per-station entry key holds only the station-specific inputs. Exact
+// struct equality (not a hash) at both levels rules out silent collisions.
+type bucketKey struct {
+	algo   string
+	config uint64
+	n, k   int
+	s      int64
+}
+
+type entryKey struct {
+	id   int
+	wake int64 // 0 for wake-insensitive AND local-clock schedules
+}
+
+// stationRef is one awake station of the current trial. off is the bitmap
+// shift: local-clock schedules are cached in local time (bit l = "transmits
+// l slots after waking"), so the station's global word at base b reads the
+// cached words at local offset b - off. Global-time schedules have off 0.
+type stationRef struct {
+	id   int
+	wake int64
+	off  int64
+	sc   *sched
+}
+
+// schedWord extracts the 64 schedule bits for global slots
+// [wordBase, wordBase+64) from a schedule rendered at shift off. Slots
+// before the schedule's origin (local time < 0) read as silent.
+func schedWord(sc *sched, wordBase, off int64) uint64 {
+	lo := wordBase - off
+	switch {
+	case lo >= 0:
+		i, sh := int(lo>>6), uint(lo&63)
+		w := sc.words[i] >> sh
+		if sh != 0 && i+1 < len(sc.words) {
+			w |= sc.words[i+1] << (64 - sh)
+		}
+		return w
+	case lo > -64:
+		return sc.words[0] << uint(-lo)
+	default:
+		return 0
+	}
+}
+
+// Kernel is a reusable word-wide trial executor. Like sim.Engine it is
+// single-trial, Reset-per-trial, and not safe for concurrent use — pool one
+// per worker. Unlike the engine it carries a cross-trial schedule cache, so
+// keeping a kernel alive across a cell's trials is what makes memoization
+// pay.
+type Kernel struct {
+	cache        map[bucketKey]map[entryKey]*sched
+	cur          map[entryKey]*sched // bucket of the current trial's cell
+	curKey       bucketKey
+	curOK        bool
+	cacheEntries int
+	cacheWords   int64
+	free         []*sched // scratch scheds pooled across trials
+	scratch      []*sched // scratch scheds live in the current trial
+
+	stations []stationRef
+	wbuf     []uint64 // per-station schedule words of the word being stepped
+	next     int      // index of the first station with wake > t (wake-ordered)
+	class    model.ScheduleClass
+	memo     bool
+	local    bool // memoized in local time, shifted per station
+
+	// Trial inputs retained for lazy schedule builds: like the engine, which
+	// only builds a station when its wake slot arrives, the kernel defers
+	// algo.Build to the first word a station is awake in — a trial that
+	// succeeds early never pays for the schedules of still-sleeping stations
+	// (KS-ladder construction dwarfs the stepping for selector baselines).
+	algo model.Algorithm
+	p    model.Params
+	seed uint64
+
+	s, t, end int64
+	result    model.Result
+	done      bool
+}
+
+// New returns a kernel ready for its first Reset.
+func New() *Kernel {
+	return &Kernel{cache: make(map[bucketKey]map[entryKey]*sched)}
+}
+
+// Class resolves the schedule class a (algorithm, options) pairing would
+// execute under, reporting ok == false when the pairing must run on the
+// slot-by-slot engine: adaptive runs, perturbing channels (noisy, jam),
+// trace recording, or an algorithm that does not advertise obliviousness.
+func Class(algo model.Algorithm, opt sim.Options) (model.ScheduleClass, bool) {
+	if opt.RecordTrace {
+		// The kernel never materializes per-slot events.
+		return model.ScheduleClass{}, false
+	}
+	if opt.Adaptive {
+		if _, ok := algo.(model.Adaptive); ok {
+			return model.ScheduleClass{}, false
+		}
+	}
+	ch := opt.Channel
+	if ch == nil {
+		ch = opt.Feedback.Model()
+	}
+	if _, ok := ch.(model.SlotPerturber); ok {
+		// A perturbing channel rewrites slot outcomes from its own RNG
+		// stream; outcomes are no longer a pure function of transmit sets.
+		return model.ScheduleClass{}, false
+	}
+	return model.AlgorithmClass(algo)
+}
+
+// Eligible reports whether the kernel can execute the pairing.
+func Eligible(algo model.Algorithm, opt sim.Options) bool {
+	_, ok := Class(algo, opt)
+	return ok
+}
+
+// Reset validates the inputs — identically to sim.Engine.Reset — and
+// prepares the kernel for a new trial.
+func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern, opt sim.Options) error {
+	if err := sim.ValidateRun(algo, p, w, opt); err != nil {
+		return err
+	}
+	class, ok := Class(algo, opt)
+	if !ok {
+		return errIneligible(algo)
+	}
+	k.class = class
+	k.memo = !class.SeedSensitive
+	k.local = k.memo && class.WakeSensitive && class.LocalClock
+	k.algo, k.p, k.seed = algo, p, opt.Seed
+
+	// Return the previous trial's scratch schedules to the pool; their word
+	// buffers are kept (capacity) but logically emptied (rendered = 0, and
+	// extendTo re-zeroes exposed words).
+	for _, sc := range k.scratch {
+		sc.fn = nil
+		sc.words = sc.words[:0]
+		sc.rendered = 0
+		k.free = append(k.free, sc)
+	}
+	k.scratch = k.scratch[:0]
+	if k.cacheWords > maxCacheWords || k.cacheEntries > maxCacheEntries {
+		k.cache = make(map[bucketKey]map[entryKey]*sched)
+		k.cacheEntries = 0
+		k.cacheWords = 0
+		k.curOK = false
+	}
+	if k.memo {
+		bk := bucketKey{algo: algo.Name(), config: class.Config, n: p.N, k: p.K, s: p.S}
+		if !k.curOK || bk != k.curKey {
+			bucket, ok := k.cache[bk]
+			if !ok {
+				bucket = make(map[entryKey]*sched)
+				k.cache[bk] = bucket
+			}
+			k.cur, k.curKey, k.curOK = bucket, bk, true
+		}
+	}
+
+	// Station table in wake order (ties by ID), mirroring the engine.
+	n := w.K()
+	if cap(k.stations) < n {
+		k.stations = make([]stationRef, 0, n)
+	}
+	k.stations = k.stations[:0]
+	sw := model.WakePattern{IDs: w.IDs, Wakes: w.Wakes}
+	sorted := true
+	for i := 1; i < n; i++ {
+		if sw.Wakes[i] < sw.Wakes[i-1] ||
+			(sw.Wakes[i] == sw.Wakes[i-1] && sw.IDs[i] < sw.IDs[i-1]) {
+			sorted = false
+			break
+		}
+	}
+	if !sorted {
+		sw = w.Sorted()
+	}
+
+	k.s = sw.Wakes[0]
+	k.t = k.s
+	k.end = k.s + opt.Horizon
+	k.next = 0
+	k.result = model.Result{SuccessSlot: -1, Rounds: -1}
+	k.done = false
+
+	for i := 0; i < n; i++ {
+		id, wake := sw.IDs[i], sw.Wakes[i]
+		if wake >= k.end {
+			// Never activated by the engine either: it neither transmits nor
+			// listens inside the horizon.
+			continue
+		}
+		// Schedules are built lazily in stepWord (fn == nil until first use),
+		// mirroring the engine's build-at-activation: stations that never get
+		// stepped — the trial succeeds before their wake — are never built.
+		var sc *sched
+		var off int64
+		if k.memo {
+			key := entryKey{id: id, wake: wake}
+			if !class.WakeSensitive || k.local {
+				// Local-clock schedules are one bitmap per station, cached in
+				// local time and shifted per wake — like wake-insensitive
+				// ones, the wake is not part of their identity.
+				key.wake = 0
+			}
+			if k.local {
+				off = wake
+			}
+			if cached, hit := k.cur[key]; hit {
+				sc = cached
+			} else {
+				sc = &sched{wake: key.wake}
+				k.cur[key] = sc
+				k.cacheEntries++
+			}
+		} else {
+			if m := len(k.free); m > 0 {
+				sc = k.free[m-1]
+				k.free = k.free[:m-1]
+			} else {
+				sc = &sched{}
+			}
+			sc.wake = wake
+			k.scratch = append(k.scratch, sc)
+		}
+		k.stations = append(k.stations, stationRef{id: id, wake: wake, off: off, sc: sc})
+	}
+	if cap(k.wbuf) < len(k.stations) {
+		k.wbuf = make([]uint64, len(k.stations))
+	}
+	k.wbuf = k.wbuf[:len(k.stations)]
+	return nil
+}
+
+func errIneligible(algo model.Algorithm) error {
+	return fmt.Errorf("kernel: %s is not eligible for the bitset kernel with these options", algo.Name())
+}
+
+// awakeMask returns the transmit-window mask of one word for a station:
+// bits for slots >= wake within [wordBase, wordBase+64).
+func awakeMask(wake, wordBase int64) uint64 {
+	if wake <= wordBase {
+		return ^uint64(0)
+	}
+	off := wake - wordBase
+	if off >= 64 {
+		return 0
+	}
+	return ^uint64(0) << uint(off)
+}
+
+// stepWord executes slots [lo, hi), which must lie within one 64-slot word
+// and within the horizon, updating the result counters exactly as hi-lo
+// engine steps would.
+func (k *Kernel) stepWord(lo, hi int64) {
+	wordBase := lo &^ 63
+	mask := bitset.WordMask(uint(lo-wordBase), uint(hi-wordBase))
+
+	// Pass 1: accumulate per-slot transmitter multiplicity. Memoized
+	// schedules grow inside the cache budget; the accounting only tracks
+	// word growth (the dominant cost).
+	var scan bitset.SoloScan
+	for i := range k.stations {
+		st := &k.stations[i]
+		if st.wake >= hi {
+			break // wake-ordered: no later station is awake in this word
+		}
+		sc := st.sc
+		if need := hi - st.off; sc.rendered < need {
+			if sc.fn == nil {
+				fn := k.algo.Build(k.p, st.id, st.wake, rng.New(rng.Derive(k.seed, uint64(st.id))))
+				if k.local {
+					// Cache the schedule in local time: the build's own wake
+					// drops out by the LocalClock shift-invariance contract.
+					w0 := st.wake
+					sc.fn = func(l int64) bool { return fn(l + w0) }
+				} else {
+					sc.fn = fn
+				}
+			}
+			before := len(sc.words)
+			sc.extendTo(need)
+			if k.memo {
+				k.cacheWords += int64(len(sc.words) - before)
+			}
+		}
+		w := schedWord(sc, wordBase, st.off)
+		k.wbuf[i] = w
+		scan.Add(w & mask & awakeMask(st.wake, wordBase))
+	}
+
+	effMask := mask
+	succBit := -1
+	if solo := scan.Solo(); solo != 0 {
+		succBit = bits.TrailingZeros64(solo)
+		// Count the success slot itself, then stop — exactly the engine's
+		// per-step behaviour.
+		effMask = mask & (^uint64(0) >> uint(63-succBit))
+	}
+
+	// Pass 2: energy counters under the (possibly truncated) slot window.
+	var winner int
+	for i := range k.stations {
+		st := &k.stations[i]
+		if st.wake >= hi {
+			break
+		}
+		aw := effMask & awakeMask(st.wake, wordBase)
+		w := k.wbuf[i] & aw
+		k.result.Transmissions += int64(bits.OnesCount64(w))
+		k.result.Listens += int64(bits.OnesCount64(aw &^ w))
+		if succBit >= 0 && w&(1<<uint(succBit)) != 0 {
+			winner = st.id
+		}
+	}
+	k.result.Collisions += int64(bits.OnesCount64(scan.Multi & effMask))
+	k.result.Silences += int64(bits.OnesCount64(effMask &^ scan.Any))
+
+	if succBit >= 0 {
+		slot := wordBase + int64(succBit)
+		k.result.Succeeded = true
+		k.result.Winner = winner
+		k.result.SuccessSlot = slot
+		k.result.Rounds = slot - k.s
+		k.t = slot + 1
+		k.done = true
+	} else {
+		k.t = hi
+	}
+	k.result.Slots = k.t - k.s
+}
+
+// RunTo steps until global slot until (exclusive) or until the trial ends,
+// and reports whether the trial has ended — the engine's RunTo contract,
+// including its edge semantics: the horizon only flips done when a step
+// past it is actually attempted.
+func (k *Kernel) RunTo(until int64) bool {
+	limit := until
+	if limit > k.end {
+		limit = k.end
+	}
+	for !k.done && k.t < limit {
+		hi := (k.t &^ 63) + 64
+		if hi > limit {
+			hi = limit
+		}
+		// Never step across the wake of a station whose schedule would have
+		// to be BUILT for it: a trial that ends in [t, wake) must not pay
+		// for the schedules of stations that never woke — the engine's
+		// build-at-activation economy (KS-ladder construction dwarfs the
+		// stepping for selector baselines). Stations with an already-built
+		// schedule (memo hits, earlier words) are free to enter mid-word:
+		// awakeMask silences their pre-wake slots.
+		for k.next < len(k.stations) && k.stations[k.next].wake <= k.t {
+			k.next++
+		}
+		for j := k.next; j < len(k.stations) && k.stations[j].wake < hi; j++ {
+			if k.stations[j].sc.fn == nil {
+				hi = k.stations[j].wake
+				break
+			}
+		}
+		k.stepWord(k.t, hi)
+	}
+	if !k.done && k.t >= k.end && until > k.end {
+		k.done = true
+	}
+	return k.done
+}
+
+// Step executes one slot (the engine's Step contract).
+func (k *Kernel) Step() bool { return k.RunTo(k.t + 1) }
+
+// Run steps the trial to completion and returns the result.
+func (k *Kernel) Run() model.Result {
+	k.RunTo(k.end + 1)
+	return k.result
+}
+
+// Result returns the counters accumulated so far; final once Done.
+func (k *Kernel) Result() model.Result { return k.result }
+
+// Done reports whether the current trial has ended.
+func (k *Kernel) Done() bool { return k.done }
+
+// Slot returns the next global slot the kernel will execute.
+func (k *Kernel) Slot() int64 { return k.t }
+
+// CachedSchedules returns the memo cache's entry count (test hook).
+func (k *Kernel) CachedSchedules() int { return k.cacheEntries }

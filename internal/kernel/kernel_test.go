@@ -1,0 +1,456 @@
+package kernel_test
+
+import (
+	"fmt"
+	"testing"
+
+	"nsmac/internal/core"
+	"nsmac/internal/kernel"
+	"nsmac/internal/model"
+	"nsmac/internal/rng"
+	"nsmac/internal/schedule"
+	"nsmac/internal/sim"
+)
+
+// rosterEntry pairs an algorithm constructor with its per-(n,k) knowledge —
+// a self-contained mirror of the sweep registry's scenarios, kept local so
+// the kernel package's tests do not depend on internal/sweep (which imports
+// this package).
+type rosterEntry struct {
+	name    string
+	algo    func(n, k int) model.Algorithm
+	params  func(n, k int, seed uint64, firstWake int64) model.Params
+	horizon func(n, k int) int64
+	maxK    int
+}
+
+func roster() []rosterEntry {
+	scenC := func(n, k int, seed uint64, _ int64) model.Params {
+		return model.Params{N: n, S: -1, Seed: seed}
+	}
+	return []rosterEntry{
+		{
+			name:    "roundrobin",
+			algo:    func(n, k int) model.Algorithm { return core.NewRoundRobin() },
+			params:  scenC,
+			horizon: func(n, k int) int64 { return core.RoundRobin{}.Horizon(n, k) },
+		},
+		{
+			name: "wakeup_with_s",
+			algo: func(n, k int) model.Algorithm { return core.NewWakeupWithS() },
+			params: func(n, k int, seed uint64, firstWake int64) model.Params {
+				return model.Params{N: n, S: firstWake, Seed: seed}
+			},
+			horizon: func(n, k int) int64 { return core.WakeupWithSHorizon(n, k) },
+		},
+		{
+			name: "wakeup_with_k",
+			algo: func(n, k int) model.Algorithm { return core.NewWakeupWithK() },
+			params: func(n, k int, seed uint64, _ int64) model.Params {
+				return model.Params{N: n, K: k, S: -1, Seed: seed}
+			},
+			horizon: func(n, k int) int64 { return core.WakeupWithKHorizon(n, k) },
+		},
+		{
+			name:    "wakeupc",
+			algo:    func(n, k int) model.Algorithm { return core.NewWakeupC() },
+			params:  scenC,
+			horizon: func(n, k int) int64 { return (&core.WakeupC{}).Horizon(n, k) },
+		},
+		{
+			name:    "rpd",
+			algo:    func(n, k int) model.Algorithm { return core.NewRPD() },
+			params:  scenC,
+			horizon: func(n, k int) int64 { return (&core.RPD{}).Horizon(n, k) },
+		},
+		{
+			name:    "beb",
+			algo:    func(n, k int) model.Algorithm { return core.NewBEB() },
+			params:  scenC,
+			horizon: func(n, k int) int64 { return (&core.BEB{}).Horizon(n, k) },
+		},
+		{
+			name:    "localssf",
+			algo:    func(n, k int) model.Algorithm { return core.NewLocalSSF() },
+			params:  scenC,
+			horizon: func(n, k int) int64 { return (&core.LocalSSF{}).Horizon(n, k) },
+			maxK:    16,
+		},
+		{
+			name:    "skewed(roundrobin)",
+			algo:    func(n, k int) model.Algorithm { return core.NewClockSkewed(core.NewRoundRobin(), 5) },
+			params:  scenC,
+			horizon: func(n, k int) int64 { return 4 * core.RoundRobin{}.Horizon(n, k) },
+		},
+		{
+			name:    "delayed(localssf)",
+			algo:    func(n, k int) model.Algorithm { return schedule.NewDelayed(core.NewLocalSSF(), 3) },
+			params:  scenC,
+			horizon: func(n, k int) int64 { return (&core.LocalSSF{}).Horizon(n, k) + 16 },
+			maxK:    16,
+		},
+	}
+}
+
+// randomPattern draws a wake pattern of k stations in [1, n] with wakes in
+// [0, spread).
+func randomPattern(n, k int, spread int64, seed uint64) model.WakePattern {
+	ids := rng.New(rng.Derive(seed, 2)).Sample(n, k)
+	wakes := make([]int64, k)
+	wsrc := rng.New(rng.Derive(seed, 3))
+	for i := range wakes {
+		wakes[i] = wsrc.Int63n(spread)
+	}
+	return model.WakePattern{IDs: ids, Wakes: wakes}
+}
+
+// TestKernelMatchesEngine is the core differential: for every roster
+// algorithm, random workloads must produce a model.Result identical in every
+// field to the slot-by-slot engine's — with the engine warm and the kernel
+// shared across trials, so memoized schedule reuse is on the tested path.
+func TestKernelMatchesEngine(t *testing.T) {
+	for _, entry := range roster() {
+		t.Run(entry.name, func(t *testing.T) {
+			src := rng.New(rng.Derive(0xd1ff, model.ConfigString(entry.name)))
+			eng := sim.NewEngine()
+			kn := kernel.New()
+			for round := 0; round < 30; round++ {
+				n := 2 + src.Intn(60)
+				k := 1 + src.Intn(n)
+				if entry.maxK > 0 && k > entry.maxK {
+					k = entry.maxK
+				}
+				seed := src.Uint64()
+				w := randomPattern(n, k, 1+int64(src.Intn(30)), seed)
+				if entry.name == "wakeup_with_s" {
+					// Scenario A: the algorithm is told the true first wake.
+				}
+				p := entry.params(n, k, seed, w.FirstWake())
+				algo := entry.algo(n, k)
+				opt := sim.Options{Horizon: entry.horizon(n, k), Seed: seed}
+
+				if err := eng.Reset(algo, p, w, opt); err != nil {
+					t.Fatalf("round %d: engine reset: %v", round, err)
+				}
+				want := eng.Run()
+				if err := kn.Reset(algo, p, w, opt); err != nil {
+					t.Fatalf("round %d: kernel reset: %v", round, err)
+				}
+				got := kn.Run()
+				if got != want {
+					t.Fatalf("round %d (n=%d k=%d seed=%#x):\nkernel %+v\nengine %+v",
+						round, n, k, seed, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestKernelMidRunMatchesEngine locks the partial-horizon API: after
+// RunTo(u) for arbitrary u, (Result, Slot, Done) must match the engine's at
+// the same u — including the edge where u exceeds the horizon.
+func TestKernelMidRunMatchesEngine(t *testing.T) {
+	src := rng.New(0xa1d)
+	eng := sim.NewEngine()
+	kn := kernel.New()
+	for round := 0; round < 40; round++ {
+		n := 2 + src.Intn(40)
+		k := 1 + src.Intn(n)
+		seed := src.Uint64()
+		w := randomPattern(n, k, 20, seed)
+		algo := core.NewRPD()
+		p := model.Params{N: n, S: -1, Seed: seed}
+		horizon := int64(40 + src.Intn(200))
+		opt := sim.Options{Horizon: horizon, Seed: seed}
+
+		if err := eng.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := kn.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		if kn.Slot() != eng.Slot() {
+			t.Fatalf("round %d: initial slot %d != %d", round, kn.Slot(), eng.Slot())
+		}
+		u := w.FirstWake()
+		for !eng.Done() || !kn.Done() {
+			u += 1 + int64(src.Intn(70)) // steps that straddle word boundaries
+			ed := eng.RunTo(u)
+			kd := kn.RunTo(u)
+			if ed != kd || eng.Done() != kn.Done() || eng.Slot() != kn.Slot() || eng.Result() != kn.Result() {
+				t.Fatalf("round %d RunTo(%d):\nkernel done=%v slot=%d %+v\nengine done=%v slot=%d %+v",
+					round, u, kd, kn.Slot(), kn.Result(), ed, eng.Slot(), eng.Result())
+			}
+		}
+		// Past-the-end calls stay stable on both.
+		eng.RunTo(u + 100)
+		kn.RunTo(u + 100)
+		if eng.Result() != kn.Result() || eng.Slot() != kn.Slot() {
+			t.Fatalf("round %d: post-done divergence", round)
+		}
+	}
+}
+
+// TestKernelStepMatchesEngine drives both executors one slot at a time.
+func TestKernelStepMatchesEngine(t *testing.T) {
+	eng := sim.NewEngine()
+	kn := kernel.New()
+	algo := core.NewRoundRobin()
+	// Two stations on a collision course for a while: IDs chosen so the
+	// success lands mid-word, plus a simultaneous pattern landing it at the
+	// word edge (slots 63 and 64 checked in TestKernelWordBoundaries).
+	p := model.Params{N: 8, S: -1}
+	w := model.WakePattern{IDs: []int{3, 5}, Wakes: []int64{1, 6}}
+	opt := sim.Options{Horizon: 20, Seed: 1}
+	if err := eng.Reset(algo, p, w, opt); err != nil {
+		t.Fatal(err)
+	}
+	if err := kn.Reset(algo, p, w, opt); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		ed, kd := eng.Step(), kn.Step()
+		if ed != kd || eng.Slot() != kn.Slot() || eng.Result() != kn.Result() {
+			t.Fatalf("step %d: kernel (done=%v slot=%d %+v) != engine (done=%v slot=%d %+v)",
+				i, kd, kn.Slot(), kn.Result(), ed, eng.Slot(), eng.Result())
+		}
+	}
+}
+
+// TestKernelWordBoundaries pins success slots at and around the 64-slot word
+// edges, where the masking logic earns its keep.
+func TestKernelWordBoundaries(t *testing.T) {
+	// fixedSlot transmits exactly at one global slot.
+	for _, slot := range []int64{62, 63, 64, 65, 127, 128} {
+		eng := sim.NewEngine()
+		kn := kernel.New()
+		algo := soloAt{slot: slot}
+		p := model.Params{N: 4, S: -1}
+		w := model.WakePattern{IDs: []int{1, 2}, Wakes: []int64{0, 3}}
+		opt := sim.Options{Horizon: 200, Seed: 1}
+		if err := eng.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := kn.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		want, got := eng.Run(), kn.Run()
+		if got != want {
+			t.Fatalf("slot %d: kernel %+v != engine %+v", slot, got, want)
+		}
+		if !got.Succeeded || got.SuccessSlot != slot {
+			t.Fatalf("slot %d: expected success there, got %+v", slot, got)
+		}
+	}
+}
+
+// soloAt makes station 1 transmit exactly at the configured slot (everyone
+// else stays silent) — a scalpel for word-edge tests.
+type soloAt struct{ slot int64 }
+
+func (soloAt) Name() string { return "solo_at" }
+func (a soloAt) Build(p model.Params, id int, wake int64, _ *rng.Source) model.TransmitFunc {
+	if id != 1 {
+		return func(int64) bool { return false }
+	}
+	return func(t int64) bool { return t == a.slot }
+}
+func (soloAt) ObliviousClass() (model.ScheduleClass, bool) {
+	return model.ScheduleClass{WakeSensitive: true}, true
+}
+
+// countingAlgo counts Build invocations — the memoization observable.
+type countingAlgo struct {
+	builds *int
+	seeded bool // advertise as seed-sensitive
+}
+
+func (a countingAlgo) Name() string { return fmt.Sprintf("counting(seeded=%v)", a.seeded) }
+func (a countingAlgo) Build(p model.Params, id int, wake int64, _ *rng.Source) model.TransmitFunc {
+	*a.builds++
+	n := int64(p.N)
+	slot := int64(id - 1)
+	return func(t int64) bool { return t%n == slot }
+}
+func (a countingAlgo) ObliviousClass() (model.ScheduleClass, bool) {
+	return model.ScheduleClass{SeedSensitive: a.seeded, WakeSensitive: true}, true
+}
+
+// TestKernelMemoizesAcrossTrials: a seed-insensitive algorithm builds each
+// participating station's schedule once per kernel, however many trials run;
+// a seed-sensitive one rebuilds every trial. Builds are also lazy, like the
+// engine's build-at-activation: a station whose wake comes after the success
+// slot is never built at all.
+func TestKernelMemoizesAcrossTrials(t *testing.T) {
+	p := model.Params{N: 16, S: -1}
+	const trials = 5
+
+	run := func(w model.WakePattern, seeded bool) int {
+		builds := 0
+		kn := kernel.New()
+		for trial := 0; trial < trials; trial++ {
+			pp := p
+			pp.Seed = uint64(trial)
+			opt := sim.Options{Horizon: 64, Seed: uint64(trial)}
+			if err := kn.Reset(countingAlgo{builds: &builds, seeded: seeded}, pp, w, opt); err != nil {
+				t.Fatal(err)
+			}
+			kn.Run()
+		}
+		return builds
+	}
+
+	// Station id transmits at t%16 == id-1, so with this ordering the first
+	// solo is station 7's slot 6 — after the last wake (5): every station
+	// participates in the trial and must be built.
+	all := model.WakePattern{IDs: []int{11, 7, 2}, Wakes: []int64{0, 2, 5}}
+	if got := run(all, false); got != 3 {
+		t.Errorf("seed-insensitive: %d builds over %d trials, want 3 (one per station)",
+			got, trials)
+	}
+	if got := run(all, true); got != 3*trials {
+		t.Errorf("seed-sensitive: %d builds, want %d (every station every trial)",
+			got, 3*trials)
+	}
+
+	// Reversed IDs: station 2 (wake 0) wins at slot 1, before stations 7 and
+	// 11 ever wake — they must never be built, exactly as the engine never
+	// activates them.
+	early := model.WakePattern{IDs: []int{2, 7, 11}, Wakes: []int64{0, 2, 5}}
+	if got := run(early, false); got != 1 {
+		t.Errorf("seed-insensitive early success: %d builds, want 1 (sleepers never built)", got)
+	}
+	if got := run(early, true); got != trials {
+		t.Errorf("seed-sensitive early success: %d builds, want %d", got, trials)
+	}
+}
+
+// TestKernelLocalClockSchedules: local-clock schedules (localssf) are cached
+// once per station in local time and served to every wake slot by shifting
+// the bitmap. The differential against the engine across wake variations is
+// the correctness check on the shifted-word extraction; the cache-size bound
+// pins that re-wakes share entries instead of multiplying them.
+func TestKernelLocalClockSchedules(t *testing.T) {
+	kn := kernel.New()
+	eng := sim.NewEngine()
+	algo := core.NewLocalSSF() // seed-insensitive, wake-sensitive, local-clock
+	p := model.Params{N: 24, S: -1}
+	opt := sim.Options{Horizon: (&core.LocalSSF{}).Horizon(24, 3), Seed: 7}
+	for _, wakes := range [][]int64{{0, 0, 0}, {0, 3, 9}, {2, 2, 17}, {0, 3, 9}, {5, 64, 130}} {
+		w := model.WakePattern{IDs: []int{4, 9, 20}, Wakes: wakes}
+		if err := kn.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		if err := eng.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		got, want := kn.Run(), eng.Run()
+		if got != want {
+			t.Fatalf("wakes %v: kernel %+v != engine %+v", wakes, got, want)
+		}
+	}
+	// 3 stations, any number of wake variations: at most one entry each.
+	if got := kn.CachedSchedules(); got > 3 {
+		t.Errorf("local-clock cache holds %d entries for 3 stations — wakes are leaking into the key", got)
+	}
+}
+
+// TestKernelEligibility pins the fast-path gate.
+func TestKernelEligibility(t *testing.T) {
+	oblivious := core.NewRoundRobin()
+	adaptive := core.NewTreeCD()
+	base := sim.Options{Horizon: 10}
+
+	if !kernel.Eligible(oblivious, base) {
+		t.Error("roundrobin on the default channel must be eligible")
+	}
+	if kernel.Eligible(adaptive, base) {
+		t.Error("TreeCD advertises no oblivious schedule; must be ineligible")
+	}
+	for _, ch := range []model.ChannelModel{model.CD(), model.SenderCD(), model.Ack()} {
+		opt := base
+		opt.Channel = ch
+		if !kernel.Eligible(oblivious, opt) {
+			t.Errorf("non-perturbing channel %s must stay eligible", ch.Name())
+		}
+	}
+	for _, ch := range []model.ChannelModel{model.Noisy(0.1), model.Jam(2)} {
+		opt := base
+		opt.Channel = ch
+		if kernel.Eligible(oblivious, opt) {
+			t.Errorf("perturbing channel %s must be ineligible", ch.Name())
+		}
+	}
+	if opt := (sim.Options{Horizon: 10, RecordTrace: true}); kernel.Eligible(oblivious, opt) {
+		t.Error("trace recording must be ineligible (the kernel keeps no transcript)")
+	}
+	if opt := (sim.Options{Horizon: 10, Adaptive: true}); kernel.Eligible(oblivious, opt) != true {
+		t.Error("Adaptive option on a non-adaptive algorithm is inert; must stay eligible")
+	}
+	if opt := (sim.Options{Horizon: 10, Adaptive: true}); kernel.Eligible(core.NewKGConflictResolution(), opt) {
+		t.Error("adaptive run of an adaptive algorithm must be ineligible")
+	}
+	// Interleaving propagates: both components oblivious → oblivious.
+	if !kernel.Eligible(core.NewWakeupWithS(), base) {
+		t.Error("wakeup_with_s (both components oblivious) must be eligible")
+	}
+	if kernel.Eligible(schedule.NewInterleaved("mix", core.NewRoundRobin(), core.NewTreeCD()), base) {
+		t.Error("interleaving with a non-oblivious component must be ineligible")
+	}
+
+	// Reset must reject an ineligible pairing with a kernel-specific error.
+	kn := kernel.New()
+	p := model.Params{N: 4, S: -1}
+	w := model.WakePattern{IDs: []int{1}, Wakes: []int64{0}}
+	if err := kn.Reset(adaptive, p, w, base); err == nil {
+		t.Error("kernel.Reset accepted an ineligible algorithm")
+	}
+	// And it must validate inputs identically to the engine.
+	if err := kn.Reset(oblivious, p, w, sim.Options{Horizon: 0}); err == nil {
+		t.Error("kernel.Reset accepted a zero horizon")
+	}
+}
+
+// TestKernelPathAllocsNoWorseThanEngine: on a warm executor, a kernel trial
+// must not allocate more than the same trial on a warm engine (the CI bench
+// smoke asserts the same property end to end).
+func TestKernelPathAllocsNoWorseThanEngine(t *testing.T) {
+	algo := core.NewRoundRobin()
+	p := model.Params{N: 32, S: -1}
+	w := model.WakePattern{IDs: []int{5, 9, 23}, Wakes: []int64{0, 1, 4}}
+	opt := sim.Options{Horizon: 40, Seed: 3}
+
+	eng := sim.NewEngine()
+	kn := kernel.New()
+	// Warm both.
+	for i := 0; i < 3; i++ {
+		if err := eng.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+		if err := kn.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		kn.Run()
+	}
+	engAllocs := testing.AllocsPerRun(100, func() {
+		if err := eng.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	})
+	knAllocs := testing.AllocsPerRun(100, func() {
+		if err := kn.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		kn.Run()
+	})
+	if knAllocs > engAllocs {
+		t.Errorf("warm kernel trial allocates %.1f, engine %.1f — kernel must not allocate more",
+			knAllocs, engAllocs)
+	}
+	// The memoized warm path should be literally allocation-free.
+	if knAllocs > 0 {
+		t.Errorf("warm memoized kernel trial allocates %.1f, want 0", knAllocs)
+	}
+}

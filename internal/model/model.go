@@ -11,7 +11,7 @@ package model
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"nsmac/internal/rng"
 )
@@ -172,6 +172,13 @@ func (w WakePattern) Validate(n int) error {
 		if id < 1 || id > n {
 			return fmt.Errorf("model: station %d out of [1,%d]", id, n)
 		}
+		if uint64(id) == ChannelStream {
+			// The channel's perturbation stream derives from the run seed on
+			// stream index ChannelStream; a station with that ID would share
+			// its RNG stream with the channel, correlating its randomized
+			// schedule with the noise/jam process.
+			return fmt.Errorf("model: station ID %#x collides with the channel RNG stream", id)
+		}
 		if seen[id] {
 			return fmt.Errorf("model: duplicate station %d", id)
 		}
@@ -216,12 +223,14 @@ func (w WakePattern) Sorted() WakePattern {
 	for i := range idx {
 		idx[i] = i
 	}
-	sort.Slice(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
-		if w.Wakes[ia] != w.Wakes[ib] {
-			return w.Wakes[ia] < w.Wakes[ib]
+	slices.SortFunc(idx, func(a, b int) int {
+		if w.Wakes[a] != w.Wakes[b] {
+			if w.Wakes[a] < w.Wakes[b] {
+				return -1
+			}
+			return 1
 		}
-		return w.IDs[ia] < w.IDs[ib]
+		return w.IDs[a] - w.IDs[b]
 	})
 	out := WakePattern{
 		IDs:   make([]int, len(w.IDs)),
@@ -264,8 +273,10 @@ type Result struct {
 	// Transmissions counts individual transmission attempts across all
 	// stations and slots.
 	Transmissions int64
-	// Listens counts listening slots: for every stepped slot, each awake,
-	// non-retired station that did not transmit spent the slot listening.
+	// Listens counts listening slots: for every stepped slot, each awake
+	// station that did not transmit spent the slot listening (stations that
+	// have protocol-retired still listen — retirement is a schedule choice,
+	// not an energy opt-out).
 	Listens int64
 }
 

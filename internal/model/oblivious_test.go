@@ -1,0 +1,97 @@
+package model
+
+import (
+	"strings"
+	"testing"
+
+	"nsmac/internal/rng"
+)
+
+// TestValidateRejectsChannelStreamID is the regression test for the
+// station-ID/channel RNG stream collision: a station whose ID equals
+// ChannelStream would derive the same stream the channel's perturbation
+// draws from, correlating its randomized schedule with the noise process.
+func TestValidateRejectsChannelStreamID(t *testing.T) {
+	n := int(ChannelStream) + 10
+	bad := WakePattern{IDs: []int{int(ChannelStream)}, Wakes: []int64{0}}
+	err := bad.Validate(n)
+	if err == nil {
+		t.Fatal("pattern with station ID == ChannelStream validated")
+	}
+	if !strings.Contains(err.Error(), "channel RNG stream") {
+		t.Errorf("collision error %q does not name the channel stream", err)
+	}
+	// Sanity check the actual collision the guard prevents: the two streams
+	// really are identical for any run seed.
+	const seed = 0x1234
+	if rng.Derive(seed, uint64(int(ChannelStream))) != rng.Derive(seed, ChannelStream) {
+		t.Fatal("collision premise broken: streams differ?")
+	}
+	// Neighbouring IDs stay valid — the guard is surgical.
+	for _, id := range []int{int(ChannelStream) - 1, int(ChannelStream) + 1, 1, n} {
+		ok := WakePattern{IDs: []int{id}, Wakes: []int64{0}}
+		if err := ok.Validate(n); err != nil {
+			t.Errorf("station %d rejected: %v", id, err)
+		}
+	}
+}
+
+type obliviousStub struct {
+	class ScheduleClass
+	ok    bool
+}
+
+func (obliviousStub) Name() string { return "stub" }
+func (obliviousStub) Build(Params, int, int64, *rng.Source) TransmitFunc {
+	return func(int64) bool { return false }
+}
+func (s obliviousStub) ObliviousClass() (ScheduleClass, bool) { return s.class, s.ok }
+
+type plainStub struct{}
+
+func (plainStub) Name() string { return "plain" }
+func (plainStub) Build(Params, int, int64, *rng.Source) TransmitFunc {
+	return func(int64) bool { return false }
+}
+
+func TestAlgorithmClass(t *testing.T) {
+	want := ScheduleClass{SeedSensitive: true, WakeSensitive: true, Config: 42}
+	if got, ok := AlgorithmClass(obliviousStub{class: want, ok: true}); !ok || got != want {
+		t.Errorf("AlgorithmClass(oblivious) = %+v, %v; want %+v, true", got, ok, want)
+	}
+	// Conditional opt-out: the interface is implemented but reports false.
+	if _, ok := AlgorithmClass(obliviousStub{ok: false}); ok {
+		t.Error("AlgorithmClass honoured a declined ObliviousClass")
+	}
+	if _, ok := AlgorithmClass(plainStub{}); ok {
+		t.Error("AlgorithmClass invented a class for a non-oblivious algorithm")
+	}
+}
+
+func TestConfigFingerprints(t *testing.T) {
+	// Order and arity must matter: the fingerprint separates knob tuples.
+	fps := []uint64{
+		ConfigFields(),
+		ConfigFields(0),
+		ConfigFields(1),
+		ConfigFields(0, 1),
+		ConfigFields(1, 0),
+		ConfigFields(ConfigFloat(1.5)),
+		ConfigFields(ConfigFloat(2.5)),
+		ConfigFields(ConfigBool(true), ConfigString("even")),
+		ConfigFields(ConfigBool(true), ConfigString("odd")),
+	}
+	seen := make(map[uint64]int)
+	for i, fp := range fps {
+		if j, dup := seen[fp]; dup {
+			t.Errorf("fingerprints %d and %d collide (%#x)", i, j, fp)
+		}
+		seen[fp] = i
+	}
+	if ConfigBool(false) != 0 || ConfigBool(true) != 1 {
+		t.Error("ConfigBool mapping changed")
+	}
+	if ConfigString("abc") != ConfigString("abc") || ConfigString("abc") == ConfigString("abd") {
+		t.Error("ConfigString is not a stable injective-ish hash")
+	}
+}

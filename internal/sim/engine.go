@@ -3,7 +3,7 @@ package sim
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
 
 	"nsmac/internal/channel"
 	"nsmac/internal/model"
@@ -45,10 +45,10 @@ func NewEngine() *Engine {
 	return &Engine{ch: channel.New(nil, false)}
 }
 
-// Reset validates the inputs and prepares the engine for a new trial. The
-// validation and error messages are exactly Run's: Run is a thin wrapper
-// over a fresh engine.
-func (e *Engine) Reset(algo model.Algorithm, p model.Params, w model.WakePattern, opt Options) error {
+// ValidateRun checks a (algorithm, params, pattern, options) tuple exactly
+// as Engine.Reset does; it is shared with the kernel fast path so both
+// execution paths accept and reject identical inputs with identical errors.
+func ValidateRun(algo model.Algorithm, p model.Params, w model.WakePattern, opt Options) error {
 	if algo == nil {
 		return errors.New("sim: nil algorithm")
 	}
@@ -66,6 +66,16 @@ func (e *Engine) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 	}
 	if p.KnowsS() && w.FirstWake() != p.S {
 		return fmt.Errorf("sim: pattern starts at %d but algorithm was told S=%d", w.FirstWake(), p.S)
+	}
+	return nil
+}
+
+// Reset validates the inputs and prepares the engine for a new trial. The
+// validation and error messages are exactly Run's: Run is a thin wrapper
+// over a fresh engine.
+func (e *Engine) Reset(algo model.Algorithm, p model.Params, w model.WakePattern, opt Options) error {
+	if err := ValidateRun(algo, p, w, opt); err != nil {
+		return err
 	}
 
 	e.algo, e.p, e.opt = algo, p, opt
@@ -86,15 +96,26 @@ func (e *Engine) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 		e.stations = make([]station, k)
 	}
 	e.stations = e.stations[:k]
+	sorted := true
 	for i := range e.stations {
 		e.stations[i] = station{id: w.IDs[i], wake: w.Wakes[i]}
-	}
-	sort.Slice(e.stations, func(a, b int) bool {
-		if e.stations[a].wake != e.stations[b].wake {
-			return e.stations[a].wake < e.stations[b].wake
+		if i > 0 && stationLess(e.stations[i], e.stations[i-1]) {
+			sorted = false
 		}
-		return e.stations[a].id < e.stations[b].id
-	})
+	}
+	// Most generators emit patterns already in wake order; skipping the
+	// re-sort keeps a warm Reset allocation- and compare-free on that path.
+	if !sorted {
+		slices.SortFunc(e.stations, func(a, b station) int {
+			if a.wake != b.wake {
+				if a.wake < b.wake {
+					return -1
+				}
+				return 1
+			}
+			return a.id - b.id
+		})
+	}
 
 	if cap(e.active) < k {
 		e.active = make([]*station, 0, k)
@@ -183,9 +204,6 @@ func (e *Engine) step(onSuccess func(slot int64, winner int) bool) bool {
 	e.transmitters = e.transmitters[:0]
 	listeners := int64(0)
 	for _, st := range e.active {
-		if st.retired {
-			continue
-		}
 		var tx bool
 		if e.useAdaptive {
 			tx = st.adaptive.WillTransmit(t)
@@ -223,9 +241,6 @@ func (e *Engine) step(onSuccess func(slot int64, winner int) bool) bool {
 			fbWon = e.ch.Deliver(truth, true, true)
 		}
 		for _, st := range e.active {
-			if st.retired {
-				continue
-			}
 			fb := fbListen
 			if st.sent {
 				fb = fbSent

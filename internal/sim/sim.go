@@ -45,14 +45,29 @@ type Options struct {
 	Seed uint64
 }
 
-// station is the engine's per-station state.
+// station is the engine's per-station state. There is deliberately no
+// "retired" flag: in this model a station that stops transmitting (KG
+// retirement after hearing its own success, TreeCD subtree withdrawal) is
+// protocol behaviour, expressed by the station's AdaptiveStation returning
+// false from WillTransmit — a retired station still listens, and its
+// listening slots still cost energy, exactly as the paper's energy measure
+// prescribes. An engine-level retirement switch would silently drop those
+// listens from the counters.
 type station struct {
 	id       int
 	wake     int64
 	transmit model.TransmitFunc
 	adaptive model.AdaptiveStation
-	retired  bool
 	sent     bool // did the station transmit in the current slot (per-slot scratch)
+}
+
+// stationLess is the engine's activation order: by wake slot, ties by ID —
+// the same total order as model.WakePattern.Sorted.
+func stationLess(a, b station) bool {
+	if a.wake != b.wake {
+		return a.wake < b.wake
+	}
+	return a.id < b.id
 }
 
 // Run simulates until the first solo transmission or until the horizon is

@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"sync"
 
 	"nsmac/internal/adversary"
+	"nsmac/internal/kernel"
 	"nsmac/internal/model"
 	"nsmac/internal/rng"
 	"nsmac/internal/sim"
@@ -60,6 +62,13 @@ type Spec struct {
 	// Batch caps trials per work item (<= 0 selects the Grid default); it
 	// tunes scheduling overhead only and never changes output bytes.
 	Batch int
+	// DisableKernel forces every cell onto the slot-by-slot engine. By
+	// default cells whose (algorithm, channel) pairing is kernel-eligible —
+	// oblivious algorithm, non-perturbing channel — execute on the bitset
+	// slot kernel, which is byte-identical in output and much faster on
+	// memoizable rosters; this switch exists for differential testing and
+	// for benchmarking the engine path.
+	DisableKernel bool
 }
 
 // patternStream offsets the pattern draw from the algorithm-seed draw inside
@@ -167,6 +176,30 @@ func (s Spec) Compile() (Grid, []string, error) {
 	if len(s.Channels) > 0 {
 		axes = []string{"algo", "pattern", "channel", "n", "k"}
 	}
+
+	// Kernel routing is decided per cell at compile time: an oblivious
+	// algorithm on a non-perturbing channel runs word-wide, everything else
+	// keeps the pooled engine. Eligibility depends only on the cell's
+	// (algorithm, channel) pairing, never on a trial's seed or pattern, so
+	// the decision is safe to hoist out of the trial loop.
+	useKernel := make([]bool, len(points))
+	anyKernel := false
+	if !s.DisableKernel {
+		for i, pt := range points {
+			useKernel[i] = kernel.Eligible(pt.c.Algo(pt.n, pt.k), sim.Options{Horizon: 1, Channel: pt.ch})
+			anyKernel = anyKernel || useKernel[i]
+		}
+	}
+	// Kernels are pooled per worker goroutine (like engines), but via
+	// sync.Pool so the Grid API stays engine-shaped: a worker that never
+	// touches a kernel cell never pays for one, and a long-lived worker
+	// reuses one kernel — and its cross-trial schedule cache — for every
+	// kernel cell it claims.
+	var kernels *sync.Pool
+	if anyKernel {
+		kernels = &sync.Pool{New: func() any { return kernel.New() }}
+	}
+
 	return Grid{
 		Name:    s.Name,
 		Axes:    axes,
@@ -184,12 +217,23 @@ func (s Spec) Compile() (Grid, []string, error) {
 			// against the cell's algorithm and channel model; black-box
 			// families draw from (n, k, pattern stream) alone.
 			w := pt.gen.Pattern(algo, p, pt.k, horizon, PatternSeed(seed), pt.ch)
-			if err := e.Reset(algo, p, w, sim.Options{Horizon: horizon, Seed: seed, Channel: pt.ch}); err != nil {
-				// A knowledge-inconsistent (case, pattern) pairing is a spec
-				// bug; surface it loudly rather than skewing aggregates.
-				panic(fmt.Sprintf("sweep: %s × %s rejected input: %v", pt.c.Name, pt.gen.Name, err))
+			opt := sim.Options{Horizon: horizon, Seed: seed, Channel: pt.ch}
+			var res model.Result
+			if useKernel[cell] {
+				kn := kernels.Get().(*kernel.Kernel)
+				if err := kn.Reset(algo, p, w, opt); err != nil {
+					// A knowledge-inconsistent (case, pattern) pairing is a spec
+					// bug; surface it loudly rather than skewing aggregates.
+					panic(fmt.Sprintf("sweep: %s × %s rejected input: %v", pt.c.Name, pt.gen.Name, err))
+				}
+				res = kn.Run()
+				kernels.Put(kn)
+			} else {
+				if err := e.Reset(algo, p, w, opt); err != nil {
+					panic(fmt.Sprintf("sweep: %s × %s rejected input: %v", pt.c.Name, pt.gen.Name, err))
+				}
+				res = e.Run()
 			}
-			res := e.Run()
 			if !res.Succeeded {
 				res.Rounds = horizon
 			}

@@ -37,6 +37,19 @@ func Timeline(events []channel.Event, width int) string {
 	return sb.String()
 }
 
+// TimelineOf renders a channel's recorded transcript like Timeline, and —
+// when the channel reports its transcript was truncated at the recording
+// bound — appends an explicit marker line, so a capped trace is never
+// mistaken for the whole run.
+func TimelineOf(c *channel.Channel, width int) string {
+	s := Timeline(c.Trace(), width)
+	if c.Truncated() {
+		s += fmt.Sprintf("\n[transcript truncated at %d slots; %d slots ran]",
+			len(c.Trace()), c.Slots())
+	}
+	return s
+}
+
 // Legend explains the Timeline notation.
 func Legend() string {
 	return ". silence   * collision   digit = successful station ID (mod 10)"

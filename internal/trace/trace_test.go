@@ -38,6 +38,31 @@ func TestTimelineWraps(t *testing.T) {
 	}
 }
 
+func TestTimelineOfSurfacesTruncation(t *testing.T) {
+	// A short run renders with no marker.
+	c := channel.New(model.None(), true)
+	c.Resolve(0, nil)
+	c.Resolve(1, []int{7})
+	if got := TimelineOf(c, 80); got != ".7" {
+		t.Errorf("short TimelineOf = %q, want .7", got)
+	}
+	// A run past the transcript cap must say so — a capped trace rendered
+	// silently reads as a complete run.
+	c.Reset(model.None(), true, 0)
+	for i := int64(0); i < int64(channel.TraceCap())+5; i++ {
+		c.Resolve(i, []int{1, 2}) // collisions render as '*'
+	}
+	got := TimelineOf(c, 1<<20)
+	lines := strings.Split(got, "\n")
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, "truncated") {
+		t.Fatalf("truncated transcript rendered without a marker; last line %q", last)
+	}
+	if !strings.Contains(last, "65536") || !strings.Contains(last, "65541") {
+		t.Errorf("marker %q should carry kept and total slot counts", last)
+	}
+}
+
 func TestLegendNonEmpty(t *testing.T) {
 	if Legend() == "" {
 		t.Error("empty legend")
