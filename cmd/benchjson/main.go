@@ -1,0 +1,182 @@
+// Command benchjson converts `go test -bench` text output into a
+// machine-readable JSON document, so CI can archive one benchmark snapshot
+// per commit (BENCH_<sha>.json) and perf trajectories can be diffed across
+// PRs without scraping log text.
+//
+// It reads benchmark output on stdin (or from the files given as arguments),
+// keeps every metric pair a benchmark line reports (ns/op, B/op, allocs/op,
+// and custom b.ReportMetric units like cells/sec), and preserves benchmark
+// order. Context lines (goos, goarch, pkg, cpu) are captured per package.
+//
+// Examples:
+//
+//	go test -run '^$' -bench=. -benchtime=1x . | benchjson > BENCH_abc123.json
+//	benchjson -label "$GITHUB_SHA" bench.txt > BENCH_${GITHUB_SHA}.json
+//
+// Exit status is 1 if the input contains a benchmark failure marker (--- FAIL
+// or FAIL at line start) or no benchmark lines at all, so a silently broken
+// bench step cannot archive an empty snapshot.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the full sub-benchmark path, without the Benchmark prefix's
+	// parallelism suffix stripped (e.g. "SweepThroughput/roster=paper-8").
+	Name string `json:"name"`
+	// Runs is the iteration count (the line's second column).
+	Runs int64 `json:"runs"`
+	// Metrics maps unit -> value for every "<value> <unit>" pair on the
+	// line: ns/op, B/op, allocs/op, and any custom b.ReportMetric units.
+	Metrics map[string]float64 `json:"metrics"`
+	// Pkg is the "pkg:" context the line appeared under ("" if none).
+	Pkg string `json:"pkg,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// Label tags the snapshot (typically the commit SHA).
+	Label string `json:"label,omitempty"`
+	// Context holds the last-seen toolchain/host lines: goos, goarch, cpu.
+	Context map[string]string `json:"context,omitempty"`
+	// Benchmarks preserves input order.
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// parse consumes `go test -bench` output and appends into doc, reporting
+// whether a FAIL marker was seen.
+func parse(r io.Reader, doc *Doc) (failed bool, err error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	pkg := ""
+	for sc.Scan() {
+		line := sc.Text()
+		if strings.HasPrefix(line, "--- FAIL") || strings.HasPrefix(line, "FAIL") {
+			failed = true
+			continue
+		}
+		if k, v, ok := contextLine(line); ok {
+			if k == "pkg" {
+				pkg = v
+			} else {
+				if doc.Context == nil {
+					doc.Context = make(map[string]string)
+				}
+				doc.Context[k] = v
+			}
+			continue
+		}
+		if b, ok := benchLine(line, pkg); ok {
+			doc.Benchmarks = append(doc.Benchmarks, b)
+		}
+	}
+	return failed, sc.Err()
+}
+
+// contextLine matches the "goos: linux" style preamble lines.
+func contextLine(line string) (key, val string, ok bool) {
+	for _, k := range []string{"goos", "goarch", "pkg", "cpu"} {
+		if rest, found := strings.CutPrefix(line, k+": "); found {
+			return k, strings.TrimSpace(rest), true
+		}
+	}
+	return "", "", false
+}
+
+// benchLine parses one "BenchmarkX/sub-8  N  v unit  v unit ..." line.
+func benchLine(line, pkg string) (Benchmark, bool) {
+	if !strings.HasPrefix(line, "Benchmark") {
+		return Benchmark{}, false
+	}
+	fields := strings.Fields(line)
+	// Shortest valid line: name, runs, value, unit.
+	if len(fields) < 4 || len(fields)%2 != 0 {
+		return Benchmark{}, false
+	}
+	runs, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:    strings.TrimPrefix(fields[0], "Benchmark"),
+		Runs:    runs,
+		Metrics: make(map[string]float64, (len(fields)-2)/2),
+		Pkg:     pkg,
+	}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}
+
+func main() {
+	var (
+		label = flag.String("label", "", "snapshot label recorded in the document (e.g. the commit SHA)")
+		out   = flag.String("out", "", "write JSON here instead of stdout")
+	)
+	flag.Parse()
+
+	doc := Doc{Label: *label}
+	failed := false
+	inputs := flag.Args()
+	if len(inputs) == 0 {
+		f, err := parse(os.Stdin, &doc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: stdin: %v\n", err)
+			os.Exit(1)
+		}
+		failed = f
+	}
+	for _, path := range inputs {
+		fh, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		f, err := parse(fh, &doc)
+		fh.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %s: %v\n", path, err)
+			os.Exit(1)
+		}
+		failed = failed || f
+	}
+
+	if len(doc.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out != "" {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: %v\n", err)
+			os.Exit(1)
+		}
+	} else {
+		os.Stdout.Write(data)
+	}
+	if failed {
+		fmt.Fprintln(os.Stderr, "benchjson: input contains FAIL markers")
+		os.Exit(1)
+	}
+}

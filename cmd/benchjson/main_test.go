@@ -1,0 +1,79 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: nsmac
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkSweepThroughput/roster=perturbed/kernel=on/workers=1/batch=64         	       1	  19358637 ns/op	         8.000 cells/op	       413.3 cells/sec	 5551872 B/op	   23718 allocs/op
+BenchmarkBitsetIntersectOne-8   	       2	    212398 ns/op
+PASS
+ok  	nsmac	0.041s
+`
+
+func TestParseBenchOutput(t *testing.T) {
+	var doc Doc
+	failed, err := parse(strings.NewReader(sample), &doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed {
+		t.Error("no FAIL marker in input, got failed=true")
+	}
+	if got, want := doc.Context["goos"], "linux"; got != want {
+		t.Errorf("goos = %q, want %q", got, want)
+	}
+	if got, want := doc.Context["cpu"], "Intel(R) Xeon(R) Processor @ 2.10GHz"; got != want {
+		t.Errorf("cpu = %q, want %q", got, want)
+	}
+	if len(doc.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(doc.Benchmarks))
+	}
+	b := doc.Benchmarks[0]
+	if want := "SweepThroughput/roster=perturbed/kernel=on/workers=1/batch=64"; b.Name != want {
+		t.Errorf("name = %q, want %q", b.Name, want)
+	}
+	if b.Runs != 1 || b.Pkg != "nsmac" {
+		t.Errorf("runs=%d pkg=%q, want 1/nsmac", b.Runs, b.Pkg)
+	}
+	for unit, want := range map[string]float64{
+		"ns/op": 19358637, "cells/op": 8, "cells/sec": 413.3,
+		"B/op": 5551872, "allocs/op": 23718,
+	} {
+		if got := b.Metrics[unit]; got != want {
+			t.Errorf("metric %s = %v, want %v", unit, got, want)
+		}
+	}
+	if got := doc.Benchmarks[1].Metrics["ns/op"]; got != 212398 {
+		t.Errorf("second bench ns/op = %v, want 212398", got)
+	}
+}
+
+func TestParseFlagsFailures(t *testing.T) {
+	var doc Doc
+	failed, err := parse(strings.NewReader("--- FAIL: BenchmarkX\nFAIL\tnsmac\t0.1s\n"), &doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !failed {
+		t.Error("FAIL markers must be flagged")
+	}
+	if len(doc.Benchmarks) != 0 {
+		t.Errorf("parsed %d benchmarks from failure-only input", len(doc.Benchmarks))
+	}
+}
+
+func TestParseIgnoresMalformedLines(t *testing.T) {
+	var doc Doc
+	in := "BenchmarkNoFields\nBenchmarkBadRuns notanint 5 ns/op\nBenchmarkOdd-8 1 5\nBenchmarkOK-8 3 7 ns/op\n"
+	if _, err := parse(strings.NewReader(in), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Benchmarks) != 1 || doc.Benchmarks[0].Name != "OK-8" {
+		t.Fatalf("want exactly BenchmarkOK parsed, got %+v", doc.Benchmarks)
+	}
+}

@@ -13,10 +13,24 @@
 // Kautz–Singleton baseline) are additionally memoized across trials in a
 // bounded cache keyed by the algorithm's name + config fingerprint and the
 // schedule's (params, id, wake) inputs, so a cell's later trials skip even
-// the render. Seed-sensitive schedules (selective-family ladders, the
-// Scenario C matrix, RPD/BEB personal hashes) re-render per trial on pooled
-// scratch bitmaps — still paying the per-slot closure only once per slot per
-// station instead of once per slot per station per scan of the step loop.
+// the render; on those rosters the scan additionally steps blockWords words
+// per station pass, amortizing the per-station loop over 256 slots.
+// Seed-sensitive schedules (selective-family ladders, the Scenario C matrix,
+// RPD/BEB personal hashes) render once per (trial, id) into a trial-scoped
+// bucket that survives Reset: re-executions of the same trial — the same
+// (algorithm, config, params, seed) inputs on the same kernel, wherever in
+// the cell's worker batches they occur — reuse the rendered words and the
+// mid-stream schedule closures instead of re-rendering.
+//
+// Perturbing channels (noisy:<p>, jam:<q>) execute word-wide too: the
+// channel advertises its perturbation shape through model.KernelPerturber
+// and the kernel overlays it on the per-word any/solo masks in exact
+// RNG-draw-sequence parity with the engine — noisy walks the non-silent
+// slots of each word in slot order drawing one Bernoulli each from the
+// derived channel stream (success and collision slots consume identically,
+// the spoiler-alignment rule), jam converts the first q solo slots to
+// collisions without drawing. Silent slots never draw, so the word scan
+// skips them wholesale.
 //
 // The kernel is a drop-in behavioural twin of sim.Engine for its eligible
 // inputs: identical validation, identical Result counters at every partial
@@ -43,6 +57,14 @@ const maxCacheWords = 1 << 21
 // maxCacheEntries bounds the memo map's entry count independently of bitmap
 // size (tiny horizons could otherwise grow the map without bound).
 const maxCacheEntries = 1 << 16
+
+// blockWords is how many 64-slot words one station pass of the scan loop
+// covers on memoized rosters: the per-station overhead (pointer chase, wake
+// and render checks) amortizes over 256 slots instead of 64. Seed-sensitive
+// rosters keep single-word passes — their render cost is per-slot, and a
+// wider block would render up to blockWords*64 slots past an early success
+// that the engine never pays for.
+const blockWords = 4
 
 // sched is one station's rendered schedule: words[t>>6] bit t&63 is set iff
 // the station transmits in global slot t. Rendering is lazy — extendTo
@@ -94,6 +116,9 @@ type bucketKey struct {
 	config uint64
 	n, k   int
 	s      int64
+	// seed scopes seed-sensitive buckets to their trial (the run seed); it is
+	// zero for cross-trial memo buckets, whose schedules are seed-invariant.
+	seed uint64
 }
 
 type entryKey struct {
@@ -144,15 +169,34 @@ type Kernel struct {
 	curOK        bool
 	cacheEntries int
 	cacheWords   int64
+	limitWords   int64    // eviction thresholds; the package consts, except in
+	limitEntries int      // boundary tests that shrink them via SetCacheLimits
 	free         []*sched // scratch scheds pooled across trials
-	scratch      []*sched // scratch scheds live in the current trial
+
+	// The trial bucket is the batch-scoped memo for seed-sensitive
+	// schedules: rendered once per (trial, id) and kept — closures mid-stream
+	// and all — until a DIFFERENT seed-sensitive trial arrives, so re-running
+	// the same (algorithm, config, params, seed) trial on this kernel (in a
+	// later worker batch, a differential re-check, a Step-after-Reset replay)
+	// reuses the renders instead of rebuilding. Bounded by one trial's
+	// station count.
+	trial    map[entryKey]*sched
+	trialKey bucketKey
+	trialOK  bool
 
 	stations []stationRef
-	wbuf     []uint64 // per-station schedule words of the word being stepped
+	wbuf     []uint64 // per-station schedule words of the block being stepped
 	next     int      // index of the first station with wake > t (wake-ordered)
 	class    model.ScheduleClass
 	memo     bool
 	local    bool // memoized in local time, shifted per station
+
+	// Channel overlay state: the perturbation shape advertised by the cell's
+	// channel model (Kind == PerturbNone on inert channels) and the run's
+	// derived channel stream, consumed in exact engine draw order.
+	perturb model.PerturbSpec
+	chSrc   rng.Source
+	jamUsed int64 // solo slots jammed so far (PerturbJamPrefix budget)
 
 	// Trial inputs retained for lazy schedule builds: like the engine, which
 	// only builds a station when its wake slot arrives, the kernel defers
@@ -170,13 +214,19 @@ type Kernel struct {
 
 // New returns a kernel ready for its first Reset.
 func New() *Kernel {
-	return &Kernel{cache: make(map[bucketKey]map[entryKey]*sched)}
+	return &Kernel{
+		cache:        make(map[bucketKey]map[entryKey]*sched),
+		trial:        make(map[entryKey]*sched),
+		limitWords:   maxCacheWords,
+		limitEntries: maxCacheEntries,
+	}
 }
 
 // Class resolves the schedule class a (algorithm, options) pairing would
 // execute under, reporting ok == false when the pairing must run on the
-// slot-by-slot engine: adaptive runs, perturbing channels (noisy, jam),
-// trace recording, or an algorithm that does not advertise obliviousness.
+// slot-by-slot engine: adaptive runs, trace recording, a perturbing channel
+// that does not advertise a kernel-executable shape, or an algorithm that
+// does not advertise obliviousness.
 func Class(algo model.Algorithm, opt sim.Options) (model.ScheduleClass, bool) {
 	if opt.RecordTrace {
 		// The kernel never materializes per-slot events.
@@ -193,8 +243,12 @@ func Class(algo model.Algorithm, opt sim.Options) (model.ScheduleClass, bool) {
 	}
 	if _, ok := ch.(model.SlotPerturber); ok {
 		// A perturbing channel rewrites slot outcomes from its own RNG
-		// stream; outcomes are no longer a pure function of transmit sets.
-		return model.ScheduleClass{}, false
+		// stream. The kernel can overlay the shapes declared through
+		// model.KernelPerturber (erasure noise, jam prefixes) on its word
+		// scan in exact draw parity; anything else stays on the engine.
+		if _, ok := ch.(model.KernelPerturber); !ok {
+			return model.ScheduleClass{}, false
+		}
 	}
 	return model.AlgorithmClass(algo)
 }
@@ -220,17 +274,21 @@ func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 	k.local = k.memo && class.WakeSensitive && class.LocalClock
 	k.algo, k.p, k.seed = algo, p, opt.Seed
 
-	// Return the previous trial's scratch schedules to the pool; their word
-	// buffers are kept (capacity) but logically emptied (rendered = 0, and
-	// extendTo re-zeroes exposed words).
-	for _, sc := range k.scratch {
-		sc.fn = nil
-		sc.words = sc.words[:0]
-		sc.rendered = 0
-		k.free = append(k.free, sc)
+	// Channel overlay: resolve the cell's model to its declared perturbation
+	// shape (PerturbNone on inert channels) and position the derived channel
+	// stream exactly where the engine's ChannelState starts.
+	ch := opt.Channel
+	if ch == nil {
+		ch = opt.Feedback.Model()
 	}
-	k.scratch = k.scratch[:0]
-	if k.cacheWords > maxCacheWords || k.cacheEntries > maxCacheEntries {
+	k.perturb = model.PerturbSpec{}
+	if kp, ok := ch.(model.KernelPerturber); ok {
+		k.perturb = kp.PerturbSpec()
+		k.chSrc.Reseed(rng.Derive(opt.Seed, model.ChannelStream))
+	}
+	k.jamUsed = 0
+
+	if k.cacheWords > k.limitWords || k.cacheEntries > k.limitEntries {
 		k.cache = make(map[bucketKey]map[entryKey]*sched)
 		k.cacheEntries = 0
 		k.cacheWords = 0
@@ -245,6 +303,23 @@ func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 				k.cache[bk] = bucket
 			}
 			k.cur, k.curKey, k.curOK = bucket, bk, true
+		}
+	} else {
+		// Seed-sensitive: the trial bucket memoizes renders for exactly one
+		// trial identity. A matching Reset reuses every rendered word (the
+		// schedule closures resume mid-stream, which is sound because
+		// rendering is strictly sequential in t); a different trial recycles
+		// the scheds — word capacity retained — into the free pool.
+		tk := bucketKey{algo: algo.Name(), config: class.Config, n: p.N, k: p.K, s: p.S, seed: opt.Seed}
+		if !k.trialOK || tk != k.trialKey {
+			for _, sc := range k.trial {
+				sc.fn = nil
+				sc.words = sc.words[:0]
+				sc.rendered = 0
+				k.free = append(k.free, sc)
+			}
+			clear(k.trial)
+			k.trialKey, k.trialOK = tk, true
 		}
 	}
 
@@ -305,21 +380,26 @@ func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 				k.cacheEntries++
 			}
 		} else {
-			if m := len(k.free); m > 0 {
-				sc = k.free[m-1]
-				k.free = k.free[:m-1]
+			key := entryKey{id: id, wake: wake}
+			if cached, hit := k.trial[key]; hit {
+				sc = cached
 			} else {
-				sc = &sched{}
+				if m := len(k.free); m > 0 {
+					sc = k.free[m-1]
+					k.free = k.free[:m-1]
+				} else {
+					sc = &sched{}
+				}
+				sc.wake = wake
+				k.trial[key] = sc
 			}
-			sc.wake = wake
-			k.scratch = append(k.scratch, sc)
 		}
 		k.stations = append(k.stations, stationRef{id: id, wake: wake, off: off, sc: sc})
 	}
-	if cap(k.wbuf) < len(k.stations) {
-		k.wbuf = make([]uint64, len(k.stations))
+	if cap(k.wbuf) < len(k.stations)*blockWords {
+		k.wbuf = make([]uint64, len(k.stations)*blockWords)
 	}
-	k.wbuf = k.wbuf[:len(k.stations)]
+	k.wbuf = k.wbuf[:len(k.stations)*blockWords]
 	return nil
 }
 
@@ -340,21 +420,96 @@ func awakeMask(wake, wordBase int64) uint64 {
 	return ^uint64(0) << uint(off)
 }
 
-// stepWord executes slots [lo, hi), which must lie within one 64-slot word
-// and within the horizon, updating the result counters exactly as hi-lo
-// engine steps would.
-func (k *Kernel) stepWord(lo, hi int64) {
-	wordBase := lo &^ 63
-	mask := bitset.WordMask(uint(lo-wordBase), uint(hi-wordBase))
+// overlayWord applies the channel's perturbation to one word's physical
+// outcome masks (any/solo, windowed to the executed slots) and returns the
+// effective transformation: jammed is the solo bits converted to collisions,
+// erased is the non-silent bits flipped to silence, and succBit is the
+// word-local bit of the first SURVIVING success (-1 if none). It mutates the
+// kernel's overlay state (channel stream draws, jam budget) exactly as the
+// engine's per-slot Perturb calls would over the same slots in slot order —
+// the draw-parity contract of model.KernelPerturber.
+func (k *Kernel) overlayWord(any, solo uint64) (jammed, erased uint64, succBit int) {
+	switch k.perturb.Kind {
+	case model.PerturbJamPrefix:
+		// Deterministic: the first q physical successes collide. Jam the
+		// lowest min(remaining, popcount) solo bits; a solo bit past the
+		// budget is the success and truncates the word there.
+		if solo == 0 {
+			return 0, 0, -1
+		}
+		r := k.perturb.Q - k.jamUsed
+		if cnt := int64(bits.OnesCount64(solo)); cnt <= r {
+			k.jamUsed += cnt
+			return solo, 0, -1
+		}
+		rest := solo
+		for i := int64(0); i < r; i++ {
+			rest &= rest - 1
+		}
+		k.jamUsed += r
+		// Jammed bits (the lowest r) all precede the success bit, so they
+		// stay inside the truncated slot window.
+		return solo &^ rest, 0, bits.TrailingZeros64(rest)
+	case model.PerturbErasure:
+		p := k.perturb.P
+		// Degenerate probabilities never draw (rng.Source.Bernoulli's own
+		// rule, which the engine inherits): p <= 0 is the inert channel,
+		// p >= 1 erases every non-silent slot and can never succeed.
+		if p <= 0 {
+			break
+		}
+		if p >= 1 {
+			return 0, any, -1
+		}
+		// One Bernoulli per non-silent slot, in slot order, stopping at the
+		// first surviving success — after it the engine executes no slots,
+		// so later bits of this word must not draw.
+		rem := any
+		for rem != 0 {
+			b := bits.TrailingZeros64(rem)
+			rem &= rem - 1
+			if k.chSrc.Bernoulli(p) {
+				erased |= 1 << uint(b)
+			} else if solo&(1<<uint(b)) != 0 {
+				return 0, erased, b
+			}
+		}
+		return 0, erased, -1
+	}
+	if solo != 0 {
+		return 0, 0, bits.TrailingZeros64(solo)
+	}
+	return 0, 0, -1
+}
 
-	// Pass 1: accumulate per-slot transmitter multiplicity. Memoized
-	// schedules grow inside the cache budget; the accounting only tracks
-	// word growth (the dominant cost).
-	var scan bitset.SoloScan
+// stepBlock executes slots [lo, hi), which must span at most blockWords
+// consecutive 64-slot words starting at lo's word and lie within the
+// horizon, updating the result counters exactly as hi-lo engine steps would.
+func (k *Kernel) stepBlock(lo, hi int64) {
+	base := lo &^ 63
+	nw := int((hi - base + 63) >> 6)
+
+	// Pass 1: render and accumulate per-slot transmitter multiplicity, one
+	// station pass covering every word of the block. Memoized schedules grow
+	// inside the cache budget; the accounting only tracks word growth (the
+	// dominant cost).
+	var scans [blockWords]bitset.SoloScan
+	var masks [blockWords]uint64
+	for j := 0; j < nw; j++ {
+		wb := base + int64(j)<<6
+		mlo, mhi := uint(0), uint(64)
+		if lo > wb {
+			mlo = uint(lo - wb)
+		}
+		if hi < wb+64 {
+			mhi = uint(hi - wb)
+		}
+		masks[j] = bitset.WordMask(mlo, mhi)
+	}
 	for i := range k.stations {
 		st := &k.stations[i]
 		if st.wake >= hi {
-			break // wake-ordered: no later station is awake in this word
+			break // wake-ordered: no later station is awake in this block
 		}
 		sc := st.sc
 		if need := hi - st.off; sc.rendered < need {
@@ -375,40 +530,67 @@ func (k *Kernel) stepWord(lo, hi int64) {
 				k.cacheWords += int64(len(sc.words) - before)
 			}
 		}
-		w := schedWord(sc, wordBase, st.off)
-		k.wbuf[i] = w
-		scan.Add(w & mask & awakeMask(st.wake, wordBase))
+		for j := 0; j < nw; j++ {
+			wb := base + int64(j)<<6
+			w := schedWord(sc, wb, st.off)
+			k.wbuf[i*blockWords+j] = w
+			scans[j].Add(w & masks[j] & awakeMask(st.wake, wb))
+		}
 	}
 
-	effMask := mask
-	succBit := -1
-	if solo := scan.Solo(); solo != 0 {
-		succBit = bits.TrailingZeros64(solo)
-		// Count the success slot itself, then stop — exactly the engine's
-		// per-step behaviour.
-		effMask = mask & (^uint64(0) >> uint(63-succBit))
+	// Overlay walk: words in slot order, applying the channel perturbation
+	// and stopping at the first surviving success. effs[j] is word j's
+	// effective slot window (zero past the success word); collision and
+	// silence counters fold the perturbation in — a jammed solo is a
+	// collision, an erased slot is a silence.
+	var effs [blockWords]uint64
+	succWord, succBit := -1, -1
+	for j := 0; j < nw; j++ {
+		any, solo := scans[j].Any, scans[j].Solo()
+		jammed, erased, sb := k.overlayWord(any, solo)
+		eff := masks[j]
+		if sb >= 0 {
+			// Count the success slot itself, then stop — exactly the
+			// engine's per-step behaviour.
+			eff &= ^uint64(0) >> uint(63-sb)
+			succWord, succBit = j, sb
+		}
+		effs[j] = eff
+		k.result.Collisions += int64(bits.OnesCount64(((scans[j].Multi &^ erased) | jammed) & eff))
+		k.result.Silences += int64(bits.OnesCount64((eff &^ any) | (erased & eff)))
+		if sb >= 0 {
+			break
+		}
+	}
+	cw := nw
+	if succWord >= 0 {
+		cw = succWord + 1
 	}
 
-	// Pass 2: energy counters under the (possibly truncated) slot window.
+	// Pass 2: energy counters under the (possibly truncated) slot windows.
+	// Transmissions and listens are physical — the engine counts them before
+	// perturbation — so the overlay masks play no part here beyond the
+	// success truncation folded into effs.
 	var winner int
 	for i := range k.stations {
 		st := &k.stations[i]
 		if st.wake >= hi {
 			break
 		}
-		aw := effMask & awakeMask(st.wake, wordBase)
-		w := k.wbuf[i] & aw
-		k.result.Transmissions += int64(bits.OnesCount64(w))
-		k.result.Listens += int64(bits.OnesCount64(aw &^ w))
-		if succBit >= 0 && w&(1<<uint(succBit)) != 0 {
-			winner = st.id
+		for j := 0; j < cw; j++ {
+			wb := base + int64(j)<<6
+			aw := effs[j] & awakeMask(st.wake, wb)
+			w := k.wbuf[i*blockWords+j] & aw
+			k.result.Transmissions += int64(bits.OnesCount64(w))
+			k.result.Listens += int64(bits.OnesCount64(aw &^ w))
+			if j == succWord && w&(1<<uint(succBit)) != 0 {
+				winner = st.id
+			}
 		}
 	}
-	k.result.Collisions += int64(bits.OnesCount64(scan.Multi & effMask))
-	k.result.Silences += int64(bits.OnesCount64(effMask &^ scan.Any))
 
-	if succBit >= 0 {
-		slot := wordBase + int64(succBit)
+	if succWord >= 0 {
+		slot := base + int64(succWord)<<6 + int64(succBit)
 		k.result.Succeeded = true
 		k.result.Winner = winner
 		k.result.SuccessSlot = slot
@@ -430,8 +612,15 @@ func (k *Kernel) RunTo(until int64) bool {
 	if limit > k.end {
 		limit = k.end
 	}
+	// Memoized rosters step blockWords words per station pass (renders are
+	// cache-amortized); seed-sensitive ones keep single-word passes so an
+	// early success never over-renders per-slot schedule closures.
+	span := int64(64)
+	if k.memo {
+		span = 64 * blockWords
+	}
 	for !k.done && k.t < limit {
-		hi := (k.t &^ 63) + 64
+		hi := (k.t &^ 63) + span
 		if hi > limit {
 			hi = limit
 		}
@@ -451,7 +640,7 @@ func (k *Kernel) RunTo(until int64) bool {
 				break
 			}
 		}
-		k.stepWord(k.t, hi)
+		k.stepBlock(k.t, hi)
 	}
 	if !k.done && k.t >= k.end && until > k.end {
 		k.done = true
@@ -479,3 +668,6 @@ func (k *Kernel) Slot() int64 { return k.t }
 
 // CachedSchedules returns the memo cache's entry count (test hook).
 func (k *Kernel) CachedSchedules() int { return k.cacheEntries }
+
+// CachedWords returns the memo cache's rendered word count (test hook).
+func (k *Kernel) CachedWords() int64 { return k.cacheWords }

@@ -355,6 +355,21 @@ func TestKernelLocalClockSchedules(t *testing.T) {
 	}
 }
 
+// opaquePerturber perturbs slots but does not declare a kernel-executable
+// shape (no PerturbSpec) — the eligibility gate must keep it on the engine.
+type opaquePerturber struct{}
+
+func (opaquePerturber) Name() string { return "opaque" }
+func (opaquePerturber) Deliver(truth model.Feedback, transmitted, won bool) model.Feedback {
+	if truth == model.Collision {
+		return model.Silence
+	}
+	return truth
+}
+func (opaquePerturber) Perturb(truth model.Feedback, st *model.ChannelState) model.Feedback {
+	return truth
+}
+
 // TestKernelEligibility pins the fast-path gate.
 func TestKernelEligibility(t *testing.T) {
 	oblivious := core.NewRoundRobin()
@@ -377,9 +392,14 @@ func TestKernelEligibility(t *testing.T) {
 	for _, ch := range []model.ChannelModel{model.Noisy(0.1), model.Jam(2)} {
 		opt := base
 		opt.Channel = ch
-		if kernel.Eligible(oblivious, opt) {
-			t.Errorf("perturbing channel %s must be ineligible", ch.Name())
+		if !kernel.Eligible(oblivious, opt) {
+			t.Errorf("perturbing channel %s declares a kernel overlay shape; must be eligible", ch.Name())
 		}
+	}
+	// A perturbing model that does NOT advertise a kernel-executable shape
+	// must keep its cells on the engine.
+	if opt := (sim.Options{Horizon: 10, Channel: opaquePerturber{}}); kernel.Eligible(oblivious, opt) {
+		t.Error("a SlotPerturber without model.KernelPerturber must be ineligible")
 	}
 	if opt := (sim.Options{Horizon: 10, RecordTrace: true}); kernel.Eligible(oblivious, opt) {
 		t.Error("trace recording must be ineligible (the kernel keeps no transcript)")
@@ -408,6 +428,197 @@ func TestKernelEligibility(t *testing.T) {
 	// And it must validate inputs identically to the engine.
 	if err := kn.Reset(oblivious, p, w, sim.Options{Horizon: 0}); err == nil {
 		t.Error("kernel.Reset accepted a zero horizon")
+	}
+}
+
+// perturbedChannels are the overlay shapes under differential test, including
+// the degenerate parameters: noisy:0 must behave exactly like none, noisy:1
+// erases everything without drawing (the trial can never succeed), jam:0 is
+// inert, and a jam budget beyond any plausible success count suppresses the
+// whole horizon.
+func perturbedChannels() []model.ChannelModel {
+	return []model.ChannelModel{
+		model.Noisy(0), model.Noisy(0.05), model.Noisy(0.3), model.Noisy(1),
+		model.Jam(0), model.Jam(1), model.Jam(5), model.Jam(1 << 40),
+	}
+}
+
+// TestKernelPerturbedMatchesEngine is the overlay differential: every roster
+// algorithm × every perturbed channel shape, random workloads, with both
+// executors warm so memo reuse under perturbation is on the tested path. The
+// comparison is full model.Result equality — termination, Slots, winner, and
+// the energy counters all fold the overlay in.
+func TestKernelPerturbedMatchesEngine(t *testing.T) {
+	for _, entry := range roster() {
+		for _, ch := range perturbedChannels() {
+			t.Run(entry.name+"/"+ch.Name(), func(t *testing.T) {
+				src := rng.New(rng.Derive(0xbadc0de, model.ConfigString(entry.name+ch.Name())))
+				eng := sim.NewEngine()
+				kn := kernel.New()
+				for round := 0; round < 12; round++ {
+					n := 2 + src.Intn(60)
+					k := 1 + src.Intn(n)
+					if entry.maxK > 0 && k > entry.maxK {
+						k = entry.maxK
+					}
+					seed := src.Uint64()
+					w := randomPattern(n, k, 1+int64(src.Intn(30)), seed)
+					p := entry.params(n, k, seed, w.FirstWake())
+					algo := entry.algo(n, k)
+					opt := sim.Options{Horizon: entry.horizon(n, k), Seed: seed, Channel: ch}
+
+					if err := eng.Reset(algo, p, w, opt); err != nil {
+						t.Fatalf("round %d: engine reset: %v", round, err)
+					}
+					want := eng.Run()
+					if err := kn.Reset(algo, p, w, opt); err != nil {
+						t.Fatalf("round %d: kernel reset: %v", round, err)
+					}
+					got := kn.Run()
+					if got != want {
+						t.Fatalf("round %d (n=%d k=%d seed=%#x):\nkernel %+v\nengine %+v",
+							round, n, k, seed, got, want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestKernelPerturbedMidRun drives RunTo at arbitrary strides under noisy and
+// jam channels: the overlay consumes channel randomness per executed slot, so
+// any stride mismatch (a draw taken for a slot the engine never ran, or
+// skipped for one it did) desynchronizes the stream and shows up here.
+func TestKernelPerturbedMidRun(t *testing.T) {
+	for _, ch := range []model.ChannelModel{model.Noisy(0.2), model.Jam(3)} {
+		t.Run(ch.Name(), func(t *testing.T) {
+			src := rng.New(rng.Derive(0x517ead, model.ConfigString(ch.Name())))
+			eng := sim.NewEngine()
+			kn := kernel.New()
+			for round := 0; round < 25; round++ {
+				n := 2 + src.Intn(40)
+				k := 1 + src.Intn(n)
+				seed := src.Uint64()
+				w := randomPattern(n, k, 20, seed)
+				algo := core.NewRPD()
+				p := model.Params{N: n, S: -1, Seed: seed}
+				opt := sim.Options{Horizon: int64(40 + src.Intn(200)), Seed: seed, Channel: ch}
+
+				if err := eng.Reset(algo, p, w, opt); err != nil {
+					t.Fatal(err)
+				}
+				if err := kn.Reset(algo, p, w, opt); err != nil {
+					t.Fatal(err)
+				}
+				u := w.FirstWake()
+				for !eng.Done() || !kn.Done() {
+					u += 1 + int64(src.Intn(70))
+					ed := eng.RunTo(u)
+					kd := kn.RunTo(u)
+					if ed != kd || eng.Done() != kn.Done() || eng.Slot() != kn.Slot() || eng.Result() != kn.Result() {
+						t.Fatalf("round %d RunTo(%d):\nkernel done=%v slot=%d %+v\nengine done=%v slot=%d %+v",
+							round, u, kd, kn.Slot(), kn.Result(), ed, eng.Slot(), eng.Result())
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestKernelTrialMemoization pins the batch-scoped memo for seed-sensitive
+// schedules: re-running the SAME trial identity (algorithm, params, seed) on
+// one kernel reuses the rendered schedules — zero extra builds — while any
+// change of identity recycles the bucket and rebuilds. Results must be
+// identical on the reused path.
+func TestKernelTrialMemoization(t *testing.T) {
+	p := model.Params{N: 16, S: -1, Seed: 7}
+	w := model.WakePattern{IDs: []int{11, 7, 2}, Wakes: []int64{0, 2, 5}}
+	opt := sim.Options{Horizon: 64, Seed: 7}
+
+	builds := 0
+	kn := kernel.New()
+	run := func() model.Result {
+		t.Helper()
+		if err := kn.Reset(countingAlgo{builds: &builds, seeded: true}, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		return kn.Run()
+	}
+
+	first := run()
+	if builds != 3 {
+		t.Fatalf("first trial built %d schedules, want 3", builds)
+	}
+	// Same trial identity again: served from the trial bucket.
+	for i := 0; i < 4; i++ {
+		if got := run(); got != first {
+			t.Fatalf("replay %d diverged: %+v != %+v", i, got, first)
+		}
+	}
+	if builds != 3 {
+		t.Errorf("replays of one trial identity built %d schedules total, want 3 (batch-scoped memo)", builds)
+	}
+	// A different seed is a different trial: the bucket turns over.
+	opt.Seed, p.Seed = 8, 8
+	run()
+	if builds != 6 {
+		t.Errorf("new trial identity: %d builds total, want 6", builds)
+	}
+	// And returning to the first identity re-renders — the bucket holds
+	// exactly one trial, by design.
+	opt.Seed, p.Seed = 7, 7
+	if got := run(); got != first {
+		t.Fatalf("re-rendered trial diverged: %+v != %+v", got, first)
+	}
+	if builds != 9 {
+		t.Errorf("returning identity: %d builds total, want 9 (single-trial bucket)", builds)
+	}
+}
+
+// TestKernelCacheEviction drives a kernel past its (test-shrunk) cache
+// limits and asserts the wholesale clear fires — counters reset — and that
+// the trials after eviction stay byte-identical to a fresh kernel's.
+func TestKernelCacheEviction(t *testing.T) {
+	algo := core.NewRoundRobin() // seed-insensitive, wake-sensitive: one entry per (id, wake)
+	p := model.Params{N: 64, S: -1}
+	trial := func(kn *kernel.Kernel, i int) model.Result {
+		t.Helper()
+		// Distinct (id, wake) pairs every trial so the cache must grow.
+		w := model.WakePattern{IDs: []int{1 + i%60, 62, 63}, Wakes: []int64{int64(i), int64(i) + 3, int64(i) + 9}}
+		opt := sim.Options{Horizon: 256, Seed: uint64(i)}
+		if err := kn.Reset(algo, p, w, opt); err != nil {
+			t.Fatal(err)
+		}
+		return kn.Run()
+	}
+
+	for name, limits := range map[string][2]int64{
+		"entries": {1 << 20, 8}, // words effectively unbounded, 8 entries
+		"words":   {25, 1 << 20},
+	} {
+		t.Run(name, func(t *testing.T) {
+			kn := kernel.New()
+			kn.SetCacheLimits(limits[0], int(limits[1]))
+			evicted := false
+			prevEntries := 0
+			for i := 0; i < 40; i++ {
+				got := trial(kn, i)
+				if want := trial(kernel.New(), i); got != want {
+					t.Fatalf("trial %d: evicting kernel %+v != fresh kernel %+v", i, got, want)
+				}
+				if e := kn.CachedSchedules(); e < prevEntries {
+					evicted = true
+					if w := kn.CachedWords(); int64(e) > limits[1] || w > limits[0] {
+						t.Fatalf("trial %d: post-eviction counters entries=%d words=%d exceed limits %v", i, e, w, limits)
+					}
+				}
+				prevEntries = kn.CachedSchedules()
+			}
+			if !evicted {
+				t.Fatalf("40 trials never tripped the %s limit (entries=%d words=%d)",
+					name, kn.CachedSchedules(), kn.CachedWords())
+			}
+		})
 	}
 }
 

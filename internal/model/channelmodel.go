@@ -85,6 +85,60 @@ type SlotPerturber interface {
 	Perturb(truth Feedback, st *ChannelState) Feedback
 }
 
+// PerturbKind enumerates the slot-perturbation shapes the bitset slot kernel
+// knows how to overlay on its word-wide popcount scan. A perturbing model
+// that does not fit one of these shapes simply does not implement
+// KernelPerturber and keeps its cells on the slot-by-slot engine.
+type PerturbKind int
+
+const (
+	// PerturbNone is the zero value: the channel does not perturb slots.
+	PerturbNone PerturbKind = iota
+	// PerturbErasure is the noisy:<p> shape — every non-silent slot flips to
+	// silence with probability P, one Bernoulli draw per non-silent slot from
+	// the run's derived channel stream, in slot order. Silent slots draw
+	// nothing.
+	PerturbErasure
+	// PerturbJamPrefix is the jam:<q> shape — the first Q would-be successes
+	// deterministically become collisions; no randomness is consumed.
+	PerturbJamPrefix
+)
+
+// PerturbSpec is the declarative description of a kernel-executable
+// perturbation: the shape plus its parameter.
+type PerturbSpec struct {
+	Kind PerturbKind
+	// P is the erasure probability (PerturbErasure).
+	P float64
+	// Q is the jam budget (PerturbJamPrefix).
+	Q int64
+}
+
+// KernelPerturber is the opt-in capability interface of perturbing channel
+// models the bitset slot kernel can execute without falling back to the
+// engine. By implementing it a model asserts that its Perturb method is
+// EXACTLY the pure function its PerturbSpec describes — same outcome mapping
+// and, critically, the same RNG draw sequence:
+//
+//   - Perturb(Silence, st) returns Silence, draws nothing from st.Src and
+//     leaves st untouched;
+//   - PerturbErasure draws exactly one Bernoulli(P) per non-silent slot,
+//     identically for success and collision slots (the spoiler-alignment
+//     rule), and only for 0 < P < 1 — the degenerate probabilities draw
+//     nothing;
+//   - PerturbJamPrefix never draws.
+//
+// The kernel replays the spec against the same derived channel stream
+// (rng.Derive(run seed, ChannelStream)) the engine hands its ChannelState,
+// so both paths consume identical draw sequences and produce byte-identical
+// results. Routing (internal/sweep) checks this capability per channel; a
+// SlotPerturber without it stays engine-only.
+type KernelPerturber interface {
+	SlotPerturber
+	// PerturbSpec returns the declarative shape of Perturb.
+	PerturbSpec() PerturbSpec
+}
+
 // maskCollision is the paper's listener rule, shared by every model without
 // receiver-side collision detection.
 func maskCollision(truth Feedback) Feedback {
@@ -147,6 +201,11 @@ func (m noisyModel) Perturb(truth Feedback, st *ChannelState) Feedback {
 	return truth
 }
 
+// PerturbSpec implements KernelPerturber: erasure with probability p.
+func (m noisyModel) PerturbSpec() PerturbSpec {
+	return PerturbSpec{Kind: PerturbErasure, P: m.p}
+}
+
 type jamModel struct{ q int64 }
 
 func (m jamModel) Name() string { return "jam:" + strconv.FormatInt(m.q, 10) }
@@ -164,6 +223,11 @@ func (m jamModel) Perturb(truth Feedback, st *ChannelState) Feedback {
 		return Collision
 	}
 	return truth
+}
+
+// PerturbSpec implements KernelPerturber: a q-success jam prefix.
+func (m jamModel) PerturbSpec() PerturbSpec {
+	return PerturbSpec{Kind: PerturbJamPrefix, Q: m.q}
 }
 
 // None returns the paper's channel model: no collision detection, so a

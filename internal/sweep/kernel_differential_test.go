@@ -7,10 +7,11 @@ import (
 	"nsmac/internal/sweep"
 )
 
-// kernelDiffSpec builds a grid that mixes kernel-eligible cells (oblivious
-// algorithms) with engine-only ones (adaptive treecd is not in the standard
-// roster, but noisy/jam channels force the fallback), so the differential
-// exercises the routing boundary, not just one side of it.
+// kernelDiffSpec builds a grid over kernel-eligible cells — oblivious
+// algorithms on the paper channel AND on the perturbing noisy/jam channels,
+// which route through the kernel's overlay since their models declare a
+// model.KernelPerturber shape — so the differential covers the word-wide
+// perturbation replay, not just the unperturbed scan.
 func kernelDiffSpec(t *testing.T, channels string) sweep.Spec {
 	t.Helper()
 	cases, err := sweep.CasesByName("roundrobin,wakeupc,wakeup_with_k,rpd,localssf")

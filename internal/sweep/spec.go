@@ -64,10 +64,11 @@ type Spec struct {
 	Batch int
 	// DisableKernel forces every cell onto the slot-by-slot engine. By
 	// default cells whose (algorithm, channel) pairing is kernel-eligible —
-	// oblivious algorithm, non-perturbing channel — execute on the bitset
-	// slot kernel, which is byte-identical in output and much faster on
-	// memoizable rosters; this switch exists for differential testing and
-	// for benchmarking the engine path.
+	// oblivious algorithm, and a channel that either does not perturb slots
+	// or declares its perturbation shape via model.KernelPerturber (noisy,
+	// jam) — execute on the bitset slot kernel, which is byte-identical in
+	// output and much faster on memoizable rosters; this switch exists for
+	// differential testing and for benchmarking the engine path.
 	DisableKernel bool
 }
 
@@ -177,8 +178,10 @@ func (s Spec) Compile() (Grid, []string, error) {
 		axes = []string{"algo", "pattern", "channel", "n", "k"}
 	}
 
-	// Kernel routing is decided per cell at compile time: an oblivious
-	// algorithm on a non-perturbing channel runs word-wide, everything else
+	// Kernel routing is decided per cell at compile time via the channel's
+	// capability check: an oblivious algorithm runs word-wide whenever the
+	// cell's channel is non-perturbing or declares a kernel-executable
+	// perturbation shape (model.KernelPerturber: noisy, jam); everything else
 	// keeps the pooled engine. Eligibility depends only on the cell's
 	// (algorithm, channel) pairing, never on a trial's seed or pattern, so
 	// the decision is safe to hoist out of the trial loop.
