@@ -141,6 +141,7 @@ func (s RunStore) LogAttempt(fp string, index, count, attempt int, outcome error
 	if outcome != nil {
 		status = "error: " + outcome.Error()
 	}
+	//nsmac:nondeterminism-ok attempt timestamps are an operator audit trail, never parsed into results
 	_, err = fmt.Fprintf(f, "%s shard %d/%d attempt %d: %s\n",
 		time.Now().UTC().Format(time.RFC3339), index, count, attempt, status)
 	return err

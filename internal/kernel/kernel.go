@@ -239,6 +239,7 @@ func Class(algo model.Algorithm, opt sim.Options) (model.ScheduleClass, bool) {
 	}
 	ch := opt.Channel
 	if ch == nil {
+		//nsmac:deprecated-ok the nil-Channel fallback is the enum's audited resolution site
 		ch = opt.Feedback.Model()
 	}
 	if _, ok := ch.(model.SlotPerturber); ok {
@@ -279,6 +280,7 @@ func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 	// stream exactly where the engine's ChannelState starts.
 	ch := opt.Channel
 	if ch == nil {
+		//nsmac:deprecated-ok the nil-Channel fallback is the enum's audited resolution site
 		ch = opt.Feedback.Model()
 	}
 	k.perturb = model.PerturbSpec{}
@@ -312,6 +314,10 @@ func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 		// the scheds — word capacity retained — into the free pool.
 		tk := bucketKey{algo: algo.Name(), config: class.Config, n: p.N, k: p.K, s: p.S, seed: opt.Seed}
 		if !k.trialOK || tk != k.trialKey {
+			// The free pool recycles capacity containers only: words are
+			// truncated and every sched is re-rendered under its next identity,
+			// so pool order never reaches output bytes.
+			//nsmac:nondeterminism-ok free-pool recycling order is capacity reuse only, not output
 			for _, sc := range k.trial {
 				sc.fn = nil
 				sc.words = sc.words[:0]

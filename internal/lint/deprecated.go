@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Deprecated keeps the pre-ChannelModel feedback API from spreading: the
+// FeedbackModel enum, channel.Observed and sim Options.Feedback survive only
+// as aliases, confined to the declaring package, the root nsmac alias layer
+// and the resolution fallbacks that carry audited suppressions.
+var Deprecated = &Analyzer{
+	Name:     "deprecated",
+	Suppress: "deprecated",
+	Doc: `flag the deprecated feedback-enum API outside the alias layer
+
+Reports uses of model.FeedbackModel (the type, its NoCollisionDetection and
+CollisionDetection values, and its Observe method), channel.Observed, and
+the sim Options.Feedback field anywhere except the declaring internal/model
+package and the root nsmac alias layer. The ChannelModel interface
+supersedes all of them; back-compat resolution sites (the engine and kernel
+nil-Channel fallbacks) carry //nsmac:deprecated-ok suppressions, and the
+dedicated deprecation-pin tests live in _test files, which the suite does
+not analyze.`,
+	Run: runDeprecated,
+}
+
+// deprecatedExemptPkgs may reference the deprecated API freely: the
+// declaring package and the public alias layer.
+var deprecatedExemptPkgs = map[string]bool{
+	"nsmac/internal/model": true,
+	"nsmac":                true,
+}
+
+func runDeprecated(pass *Pass) error {
+	pkg := pass.Pkg
+	if deprecatedExemptPkgs[pkg.Path] {
+		return nil
+	}
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := pkg.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			if what, repl := deprecatedObject(obj); what != "" {
+				pass.Reportf(id.Pos(), "deprecated: %s; use %s", what, repl)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// deprecatedObject classifies an object as part of the deprecated feedback
+// API, returning its description and replacement.
+func deprecatedObject(obj types.Object) (what, repl string) {
+	const modelPath = "nsmac/internal/model"
+	switch obj := obj.(type) {
+	case *types.TypeName:
+		if obj.Name() == "FeedbackModel" && pkgPathIs(obj, modelPath) {
+			return "model.FeedbackModel", "model.ChannelModel (None, CD, SenderCD, Ack, Noisy, Jam)"
+		}
+	case *types.Const:
+		if pkgPathIs(obj, modelPath) {
+			switch obj.Name() {
+			case "NoCollisionDetection":
+				return "model.NoCollisionDetection", "model.None()"
+			case "CollisionDetection":
+				return "model.CollisionDetection", "model.CD()"
+			}
+		}
+	case *types.Func:
+		if methodIs(obj, modelPath, "FeedbackModel", "Observe") {
+			return "FeedbackModel.Observe", "ChannelModel.Deliver, which carries the station's role"
+		}
+		if methodIs(obj, "nsmac/internal/channel", "Channel", "Observed") {
+			return "channel.Observed", "channel.Deliver, which carries the station's role"
+		}
+	case *types.Var:
+		if obj.IsField() && obj.Name() == "Feedback" && pkgPathIs(obj, "nsmac/internal/sim") {
+			return "sim Options.Feedback", "Options.Channel"
+		}
+	}
+	return "", ""
+}
+
+// pkgPathIs reports whether obj is declared in the package with that path.
+func pkgPathIs(obj types.Object, path string) bool {
+	return obj.Pkg() != nil && obj.Pkg().Path() == path
+}

@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nsmac/internal/lint"
+	"nsmac/internal/lint/linttest"
+)
+
+func TestDeprecated(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Deprecated, "nsmac/depfix")
+}
+
+// TestDeprecatedExemptInModel proves the declaring package — whose own decls
+// are saturated with FeedbackModel references — reports nothing.
+func TestDeprecatedExemptInModel(t *testing.T) {
+	pkg := linttest.Load(t, linttest.TestData(), "nsmac/internal/model")
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.Deprecated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("deprecated fired in the declaring package: %v", diags)
+	}
+}

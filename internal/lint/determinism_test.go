@@ -1,0 +1,27 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nsmac/internal/lint"
+	"nsmac/internal/lint/linttest"
+)
+
+func TestDeterminism(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.Determinism,
+		"nsmac/internal/sim", "nsmac/internal/sweep")
+}
+
+// TestDeterminismScopedToDeterministicPackages proves the analyzer is inert
+// outside the declared package set: rngfix wall-clocks nothing but spawns
+// goroutines, and none of it is this analyzer's business.
+func TestDeterminismScopedToDeterministicPackages(t *testing.T) {
+	pkg := linttest.Load(t, linttest.TestData(), "nsmac/rngfix")
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.Determinism})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("determinism fired outside its package set: %v", diags)
+	}
+}

@@ -1,0 +1,281 @@
+// Package linttest runs nsmac/internal/lint analyzers over fixture packages
+// with seeded violations, in the style of
+// golang.org/x/tools/go/analysis/analysistest: fixtures live under
+// testdata/src/<importpath>/, and every expected diagnostic is declared on
+// its line with a comment of the form
+//
+//	// want "regexp" "another regexp"
+//
+// Each quoted regexp must match one diagnostic reported on that line, and
+// every diagnostic must be matched by one regexp. Suppression comments are
+// honored (the fixtures exercise them), so a suppressed line carries no
+// want.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"nsmac/internal/lint"
+)
+
+// TestData returns the absolute path of the calling test's testdata
+// directory.
+func TestData() string {
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		panic(err)
+	}
+	return dir
+}
+
+// Load typechecks one fixture package under testdata/src without running any
+// analyzer, for tests that assert on diagnostics directly.
+func Load(t *testing.T, testdata, pkgPath string) *lint.Package {
+	t.Helper()
+	pkg, err := newFixtureLoader(filepath.Join(testdata, "src")).load(pkgPath)
+	if err != nil {
+		t.Fatalf("loading fixture %s: %v", pkgPath, err)
+	}
+	return pkg
+}
+
+// Run analyzes each fixture package under testdata/src with the analyzer and
+// compares the surviving diagnostics against the fixtures' want comments.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := newFixtureLoader(filepath.Join(testdata, "src"))
+	for _, path := range pkgPaths {
+		pkg, err := loader.load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		compare(t, pkg, diags)
+	}
+}
+
+// fixtureLoader typechecks fixture packages from testdata/src, resolving
+// fixture-tree imports from source and everything else (the standard
+// library) from `go list -export` data.
+type fixtureLoader struct {
+	srcRoot string
+	fset    *token.FileSet
+	pkgs    map[string]*lint.Package
+	loading map[string]bool
+	gc      types.Importer
+}
+
+func newFixtureLoader(srcRoot string) *fixtureLoader {
+	l := &fixtureLoader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		pkgs:    map[string]*lint.Package{},
+		loading: map[string]bool{},
+	}
+	l.gc = importer.ForCompiler(l.fset, "gc", func(path string) (io.ReadCloser, error) {
+		export, err := stdlibExport(path)
+		if err != nil {
+			return nil, err
+		}
+		return os.Open(export)
+	})
+	return l
+}
+
+// Import implements types.Importer over the fixture tree with a standard
+// library fallback.
+func (l *fixtureLoader) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(l.srcRoot, filepath.FromSlash(path)); dirExists(dir) {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.gc.Import(path)
+}
+
+// load parses and typechecks one fixture package (memoized).
+func (l *fixtureLoader) load(path string) (*lint.Package, error) {
+	if pkg, ok := l.pkgs[path]; ok {
+		return pkg, nil
+	}
+	if l.loading[path] {
+		return nil, fmt.Errorf("linttest: import cycle through %q", path)
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	dir := filepath.Join(l.srcRoot, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("linttest: no fixture sources in %s", dir)
+	}
+	conf := types.Config{Importer: l}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	tpkg, err := conf.Check(path, l.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &lint.Package{Path: path, Fset: l.fset, Files: files, Types: tpkg, Info: info}
+	l.pkgs[path] = pkg
+	return pkg, nil
+}
+
+func dirExists(dir string) bool {
+	st, err := os.Stat(dir)
+	return err == nil && st.IsDir()
+}
+
+// stdlib export-data index, built lazily once per process: `go list -deps
+// -export -json std` compiles nothing new beyond the build cache and maps
+// every standard-library import path to its export file.
+var (
+	stdlibOnce sync.Once
+	stdlibIdx  map[string]string
+	stdlibErr  error
+)
+
+func stdlibExport(path string) (string, error) {
+	stdlibOnce.Do(func() {
+		out, err := exec.Command("go", "list", "-deps", "-export",
+			"-f", `{{.ImportPath}} {{.Export}}`, "std").Output()
+		if err != nil {
+			stdlibErr = fmt.Errorf("linttest: go list std: %v", err)
+			return
+		}
+		stdlibIdx = map[string]string{}
+		for _, line := range strings.Split(string(out), "\n") {
+			fields := strings.Fields(line)
+			if len(fields) == 2 {
+				stdlibIdx[fields[0]] = fields[1]
+			}
+		}
+	})
+	if stdlibErr != nil {
+		return "", stdlibErr
+	}
+	export, ok := stdlibIdx[path]
+	if !ok {
+		return "", fmt.Errorf("linttest: no export data for %q", path)
+	}
+	return export, nil
+}
+
+// wantRe extracts the quoted regexps of a want comment.
+var (
+	wantMarker = regexp.MustCompile(`// want (.*)$`)
+	wantQuoted = regexp.MustCompile(`"(?:[^"\\]|\\.)*"`)
+)
+
+// lineKey addresses one fixture line.
+type lineKey struct {
+	file string
+	line int
+}
+
+// parseWants collects the expected-diagnostic regexps per fixture line.
+func parseWants(t *testing.T, pkg *lint.Package) map[lineKey][]*regexp.Regexp {
+	t.Helper()
+	wants := map[lineKey][]*regexp.Regexp{}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantMarker.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := lineKey{pos.Filename, pos.Line}
+				raw := wantQuoted.FindAllString(m[1], -1)
+				if len(raw) == 0 {
+					t.Errorf("%s: want comment with no quoted regexp", pos)
+					continue
+				}
+				for _, q := range raw {
+					text, err := strconv.Unquote(q)
+					if err != nil {
+						t.Errorf("%s: bad want string %s: %v", pos, q, err)
+						continue
+					}
+					re, err := regexp.Compile(text)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, text, err)
+						continue
+					}
+					wants[key] = append(wants[key], re)
+				}
+			}
+		}
+	}
+	return wants
+}
+
+// compare checks the analyzer's diagnostics against the fixture's wants.
+func compare(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	wants := parseWants(t, pkg)
+	matched := map[lineKey][]bool{}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		key := lineKey{pos.Filename, pos.Line}
+		res := wants[key]
+		if matched[key] == nil {
+			matched[key] = make([]bool, len(res))
+		}
+		found := false
+		for i, re := range res {
+			if !matched[key][i] && re.MatchString(d.Message) {
+				matched[key][i] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if matched[key] == nil || !matched[key][i] {
+				t.Errorf("%s:%d: missing diagnostic matching %q", key.file, key.line, re)
+			}
+		}
+	}
+}

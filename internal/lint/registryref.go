@@ -1,0 +1,202 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// RegistryRef enforces the wire-name layer's two contracts: constructors
+// returning sweep.Case or adversary.Generator populate the canonical Ref
+// (an unset Ref silently produces a value that cannot travel in a SpecDoc,
+// or — worse — one that re-resolves to a different configuration), and names
+// passed to RegisterCase/RegisterPattern/RegisterChannel fit the `name[:arg]`
+// entry grammar.
+var RegistryRef = &Analyzer{
+	Name:     "registryref",
+	Suppress: "registryref",
+	Doc: `enforce canonical wire Refs and registry name grammar
+
+A function whose results include sweep.Case or adversary.Generator must
+populate the value's Ref: every non-zero composite literal it returns needs
+a Ref field (or an explicit .Ref assignment elsewhere in the function; an
+intentionally empty Ref is set explicitly, documenting that the
+configuration has no wire form). Zero literals returned on error paths are
+exempt. Names registered with RegisterCase/RegisterPattern/RegisterChannel
+must match ^[a-z][a-z0-9_]*$ — the bare-name production of the
+name[:arg][@start] entry grammar.`,
+	Run: runRegistryRef,
+}
+
+// refTypes are the registry value types that carry a canonical wire Ref.
+var refTypes = [][2]string{
+	{"nsmac/internal/sweep", "Case"},
+	{"nsmac/internal/adversary", "Generator"},
+}
+
+// registryFuncs are the registration entry points (internal package and the
+// public nsmac/sweep re-export).
+var registryFuncs = map[string]bool{
+	"RegisterCase":    true,
+	"RegisterPattern": true,
+	"RegisterChannel": true,
+}
+
+// registryName is the bare-name production of the entry grammar: the parsers
+// split on ":", "@", "," and spaces, so a registered name must be a plain
+// lower-case identifier.
+var registryName = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+func runRegistryRef(pass *Pass) error {
+	for _, file := range pass.Pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkRefConstructor(pass, n.Type, n.Body)
+				}
+			case *ast.FuncLit:
+				checkRefConstructor(pass, n.Type, n.Body)
+			case *ast.CallExpr:
+				checkRegisterName(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isRefType reports whether t is one of the Ref-carrying registry types,
+// returning its display name.
+func isRefType(t types.Type) (string, bool) {
+	for _, rt := range refTypes {
+		if namedTypeIs(t, rt[0], rt[1]) {
+			named := namedOf(t)
+			return named.Obj().Name(), true
+		}
+	}
+	return "", false
+}
+
+// checkRefConstructor reports composite literals of Ref-carrying types
+// returned without a Ref field from a function whose signature declares that
+// result type. Functions that assign .Ref explicitly anywhere in the body
+// are trusted (the resolve layer's fill-if-empty pattern).
+func checkRefConstructor(pass *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	info := pass.Pkg.Info
+	if ftype.Results == nil {
+		return
+	}
+	returnsRefType := false
+	for _, res := range ftype.Results.List {
+		if _, ok := isRefType(info.TypeOf(res.Type)); ok {
+			returnsRefType = true
+			break
+		}
+	}
+	if !returnsRefType {
+		return
+	}
+	assignsRef := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		assign, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for _, lhs := range assign.Lhs {
+			sel, ok := lhs.(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Ref" {
+				continue
+			}
+			if _, ok := isRefType(info.TypeOf(sel.X)); ok {
+				assignsRef = true
+			}
+		}
+		return true
+	})
+	if assignsRef {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		// Do not descend into nested function literals: they are their own
+		// constructors and are visited separately.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return true
+		}
+		for _, res := range ret.Results {
+			lit := compositeLitOf(res)
+			if lit == nil || len(lit.Elts) == 0 {
+				continue // zero value: the error-path idiom
+			}
+			name, ok := isRefType(info.TypeOf(lit))
+			if !ok {
+				continue
+			}
+			if !hasField(lit, "Ref") {
+				pass.Reportf(lit.Pos(),
+					"%s literal returned without its canonical Ref; set Ref to the value's registry entry (or explicitly to \"\" if the configuration has no wire form)", name)
+			}
+		}
+		return true
+	})
+}
+
+// compositeLitOf unwraps &T{...} and (T{...}) down to the composite literal.
+func compositeLitOf(e ast.Expr) *ast.CompositeLit {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return e
+	case *ast.UnaryExpr:
+		if lit, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+			return lit
+		}
+	}
+	return nil
+}
+
+// hasField reports whether a keyed composite literal sets the named field.
+func hasField(lit *ast.CompositeLit, name string) bool {
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			// Positional literal: every field is set, Ref included.
+			return true
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok && id.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// checkRegisterName validates the constant name argument of a
+// Register{Case,Pattern,Channel} call against the entry grammar.
+func checkRegisterName(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	f := calleeFunc(info, call)
+	if f == nil || !registryFuncs[f.Name()] || f.Pkg() == nil {
+		return
+	}
+	switch f.Pkg().Path() {
+	case "nsmac/internal/sweep", "nsmac/sweep":
+	default:
+		return
+	}
+	if len(call.Args) < 1 {
+		return
+	}
+	tv, ok := info.Types[ast.Unparen(call.Args[0])]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic names are validated at runtime by the registry
+	}
+	name := constant.StringVal(tv.Value)
+	if !registryName.MatchString(name) {
+		pass.Reportf(call.Args[0].Pos(),
+			"%s name %q does not fit the entry grammar (want ^[a-z][a-z0-9_]*$; \":\", \"@\", \",\" and spaces are entry delimiters)", f.Name(), name)
+	}
+}

@@ -1,0 +1,12 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nsmac/internal/lint"
+	"nsmac/internal/lint/linttest"
+)
+
+func TestRegistryRef(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.RegistryRef, "nsmac/regfix")
+}

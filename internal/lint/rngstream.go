@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RNGStream enforces the derived-stream discipline: all randomness
+// originates in nsmac/internal/rng, every stream is seeded from a derived or
+// plumbed value (never a raw constant outside tests), and a stream never
+// escapes into a goroutine other than its owner's.
+var RNGStream = &Analyzer{
+	Name:     "rngstream",
+	Suppress: "rngstream",
+	Doc: `enforce the derived RNG stream discipline
+
+Reports any import of math/rand or math/rand/v2 in shipped code (all
+randomness must come from nsmac/internal/rng so streams derive from the run
+seed), rng.New or Source.Reseed calls whose seed is a compile-time constant
+(a raw seed shares one stream between unrelated draw sites; derive with
+rng.Derive, draw from a parent source, or plumb the seed through Params),
+and *rng.Source values captured by or passed into goroutines (a stream has
+exactly one owner; concurrent draws race and reorder).`,
+	Run: runRNGStream,
+}
+
+const rngPkgPath = "nsmac/internal/rng"
+
+func runRNGStream(pass *Pass) error {
+	pkg := pass.Pkg
+	// The rng package itself implements the constructors, and the lint
+	// packages quote them in diagnostics.
+	if pkg.Path == rngPkgPath || pkg.Path == "nsmac/internal/lint" {
+		return nil
+	}
+	for _, file := range pkg.Files {
+		for _, spec := range file.Imports {
+			switch importPath(spec) {
+			case "math/rand", "math/rand/v2":
+				pass.Reportf(spec.Pos(),
+					"import of %s; all randomness must flow through nsmac/internal/rng derived streams", importPath(spec))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkRawSeed(pass, n)
+			case *ast.GoStmt:
+				checkStreamEscape(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkRawSeed reports rng.New / Source.Reseed calls seeded with a
+// compile-time constant.
+func checkRawSeed(pass *Pass, call *ast.CallExpr) {
+	f := calleeFunc(pass.Pkg.Info, call)
+	if f == nil || len(call.Args) != 1 {
+		return
+	}
+	var what string
+	switch {
+	case funcIs(f, rngPkgPath, "New"):
+		what = "rng.New"
+	case methodIs(f, rngPkgPath, "Source", "Reseed"):
+		what = "Source.Reseed"
+	default:
+		return
+	}
+	if isConstExpr(pass.Pkg.Info, call.Args[0]) {
+		pass.Reportf(call.Pos(),
+			"%s with a raw constant seed; derive the stream from its parent (rng.Derive, a parent Uint64 draw, or a plumbed seed)", what)
+	}
+}
+
+// checkStreamEscape reports *rng.Source values that cross into a goroutine:
+// captured by the spawned function literal, or passed as a call argument.
+func checkStreamEscape(pass *Pass, g *ast.GoStmt) {
+	info := pass.Pkg.Info
+	for _, arg := range g.Call.Args {
+		if namedTypeIs(info.TypeOf(arg), rngPkgPath, "Source") {
+			pass.Reportf(arg.Pos(),
+				"rng stream passed into a goroutine; a stream has exactly one owner — derive a child stream for the goroutine instead")
+		}
+	}
+	lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit)
+	if !ok {
+		return
+	}
+	reported := map[types.Object]bool{}
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || reported[obj] {
+			return true
+		}
+		// A variable declared outside the literal (parameters included) is
+		// captured state; locals of the goroutine are its own.
+		if obj.Pos() >= lit.Pos() && obj.Pos() <= lit.End() {
+			return true
+		}
+		if namedTypeIs(obj.Type(), rngPkgPath, "Source") {
+			reported[obj] = true
+			pass.Reportf(id.Pos(),
+				"rng stream %s captured by a goroutine; a stream has exactly one owner — derive a child stream inside the goroutine instead", obj.Name())
+		}
+		return true
+	})
+}

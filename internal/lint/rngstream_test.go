@@ -1,0 +1,25 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nsmac/internal/lint"
+	"nsmac/internal/lint/linttest"
+)
+
+func TestRNGStream(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.RNGStream, "nsmac/rngfix")
+}
+
+// TestRNGStreamExemptInRNGPackage proves the declaring package may seed
+// itself however it likes.
+func TestRNGStreamExemptInRNGPackage(t *testing.T) {
+	pkg := linttest.Load(t, linttest.TestData(), "nsmac/internal/rng")
+	diags, err := lint.RunAnalyzers(pkg, []*lint.Analyzer{lint.RNGStream})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("rngstream fired in its own package: %v", diags)
+	}
+}

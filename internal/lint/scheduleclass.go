@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// ScheduleClass guards the kernel memo cache against the silent-poisoning
+// bug class: an Oblivious algorithm whose ScheduleClass Config fingerprint
+// omits a constructor knob makes two differently-configured values
+// indistinguishable to the cache, so the second configuration is served the
+// first one's rendered schedules — byte-wrong output with no error.
+var ScheduleClass = &Analyzer{
+	Name:     "scheduleclass",
+	Suppress: "scheduleclass",
+	Doc: `ScheduleClass Config must mention every knob Build reads
+
+For every type implementing model.Oblivious (declares both Build and
+ObliviousClass), each receiver struct field that Build reads — directly or
+through same-type helper methods — must also be mentioned by ObliviousClass
+(folded into ConfigFields, or consulted for the class flags). A field read
+during schedule generation but absent from the Config fingerprint lets two
+distinct configurations share one kernel memo bucket, poisoning the cache
+across configs.`,
+	Run: runScheduleClass,
+}
+
+// methodIndex maps each named receiver type in the package to its declared
+// methods' bodies.
+type methodIndex map[*types.Named]map[string]*ast.FuncDecl
+
+func buildMethodIndex(pkg *Package) methodIndex {
+	idx := methodIndex{}
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			named := recvNamedType(pkg.Info, fd)
+			if named == nil {
+				continue
+			}
+			methods := idx[named]
+			if methods == nil {
+				methods = map[string]*ast.FuncDecl{}
+				idx[named] = methods
+			}
+			methods[fd.Name.Name] = fd
+		}
+	}
+	return idx
+}
+
+func runScheduleClass(pass *Pass) error {
+	pkg := pass.Pkg
+	idx := buildMethodIndex(pkg)
+	for named, methods := range idx {
+		build, hasBuild := methods["Build"]
+		class, hasClass := methods["ObliviousClass"]
+		if !hasBuild || !hasClass {
+			continue
+		}
+		seen := map[string]bool{}
+		buildFields := fieldsRead(pkg, idx, named, build, seen)
+		seen = map[string]bool{}
+		classFields := fieldsRead(pkg, idx, named, class, seen)
+		var missing []string
+		for name := range buildFields {
+			if !classFields[name] {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) == 0 {
+			continue
+		}
+		sort.Strings(missing)
+		pass.Reportf(class.Pos(),
+			"%s.ObliviousClass never consults field(s) %s read by Build; fold every schedule-shaping knob into ConfigFields or two configs will share one kernel memo bucket (cache poisoning)",
+			named.Obj().Name(), strings.Join(missing, ", "))
+	}
+	return nil
+}
+
+// fieldsRead collects the names of named's struct fields read inside fd's
+// body, following calls to other methods of the same receiver type (the
+// capFor-style helper pattern). seen guards against recursion.
+func fieldsRead(pkg *Package, idx methodIndex, named *types.Named, fd *ast.FuncDecl, seen map[string]bool) map[string]bool {
+	if seen[fd.Name.Name] {
+		return nil
+	}
+	seen[fd.Name.Name] = true
+	out := map[string]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection := pkg.Info.Selections[sel]
+		if selection == nil || namedOf(selection.Recv()) != named {
+			return true
+		}
+		switch selection.Kind() {
+		case types.FieldVal:
+			out[sel.Sel.Name] = true
+		case types.MethodVal:
+			if callee, ok := idx[named][sel.Sel.Name]; ok {
+				for f := range fieldsRead(pkg, idx, named, callee, seen) {
+					out[f] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,14 @@
+package lint_test
+
+import (
+	"testing"
+
+	"nsmac/internal/lint"
+	"nsmac/internal/lint/linttest"
+)
+
+// TestScheduleClass is the memo-poisoning regression: the TwoKnob fixture's
+// ConfigFields omits a knob its Build reads, and the analyzer must say so.
+func TestScheduleClass(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.ScheduleClass, "nsmac/schedfix")
+}

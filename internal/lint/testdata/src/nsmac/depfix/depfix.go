@@ -1,0 +1,37 @@
+// Package depfix seeds uses of every deprecated feedback-era API outside the
+// alias layer.
+package depfix
+
+import (
+	"nsmac/internal/channel"
+	"nsmac/internal/model"
+	"nsmac/internal/sim"
+)
+
+func usesEnum() model.Feedback {
+	var fm model.FeedbackModel       // want "deprecated: model.FeedbackModel"
+	_ = model.CollisionDetection     // want "deprecated: model.CollisionDetection"
+	return fm.Observe(model.Silence) // want "deprecated: FeedbackModel.Observe"
+}
+
+func usesNoCD() {
+	_ = model.NoCollisionDetection // want "deprecated: model.NoCollisionDetection"
+}
+
+func usesObserved(c *channel.Channel) model.Feedback {
+	return c.Observed(model.Collision) // want "deprecated: channel.Observed"
+}
+
+func usesOptions() sim.Options {
+	return sim.Options{Feedback: model.NoCollisionDetection} // want "deprecated: sim Options.Feedback" "deprecated: model.NoCollisionDetection"
+}
+
+func usesDeliver(c *channel.Channel) model.Feedback {
+	// The replacement API carries no diagnostic.
+	return c.Deliver(model.Collision, true, false)
+}
+
+func pinnedFallback(o sim.Options) {
+	//nsmac:deprecated-ok the fallback resolution site is pinned by tests
+	_ = o.Feedback
+}

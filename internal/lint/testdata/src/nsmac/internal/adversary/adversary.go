@@ -1,0 +1,9 @@
+// Package adversary is the fixture stub of nsmac/internal/adversary: the
+// Generator value whose canonical Ref the registryref fixtures exercise.
+package adversary
+
+type Generator struct {
+	Name     string
+	Ref      string
+	Generate func(n, k int, seed uint64) []int
+}

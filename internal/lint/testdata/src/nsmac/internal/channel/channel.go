@@ -1,0 +1,15 @@
+// Package channel is the fixture stub of nsmac/internal/channel: the
+// deprecated Observed method next to its Deliver replacement.
+package channel
+
+import "nsmac/internal/model"
+
+type Channel struct{}
+
+func (c *Channel) Deliver(truth model.Feedback, transmitted, won bool) model.Feedback {
+	return truth
+}
+
+func (c *Channel) Observed(truth model.Feedback) model.Feedback {
+	return c.Deliver(truth, false, false)
+}

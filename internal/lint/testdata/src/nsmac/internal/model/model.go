@@ -1,0 +1,52 @@
+// Package model is the fixture stub of nsmac/internal/model: the deprecated
+// feedback-enum surface (exercised by the deprecated fixtures, and exempt
+// here in its declaring package) and the ScheduleClass vocabulary the
+// scheduleclass fixtures build on.
+package model
+
+type Feedback uint8
+
+const (
+	Silence Feedback = iota
+	Success
+	Collision
+)
+
+type FeedbackModel uint8
+
+const (
+	NoCollisionDetection FeedbackModel = iota
+	CollisionDetection
+)
+
+func (m FeedbackModel) Observe(truth Feedback) Feedback {
+	if m == NoCollisionDetection && truth == Collision {
+		return Silence
+	}
+	return truth
+}
+
+type ScheduleClass struct {
+	SeedSensitive bool
+	WakeSensitive bool
+	LocalClock    bool
+	Config        uint64
+}
+
+func ConfigFields(parts ...uint64) uint64 {
+	h := uint64(len(parts))
+	for _, p := range parts {
+		h = h<<7 ^ p
+	}
+	return h
+}
+
+func ConfigString(s string) uint64 { return uint64(len(s)) }
+
+type Params struct {
+	N, K int
+	S    int64
+	Seed uint64
+}
+
+type TransmitFunc func(t int64) bool

@@ -1,0 +1,16 @@
+// Package rng is the fixture stub of nsmac/internal/rng: just enough
+// surface (Source, New, Derive, Reseed) for the rngstream fixtures to
+// typecheck against the real import path.
+package rng
+
+type Source struct{ s uint64 }
+
+func New(seed uint64) *Source { return &Source{s: seed} }
+
+func Derive(parent, stream uint64) uint64 { return parent ^ stream }
+
+func (s *Source) Reseed(seed uint64) { s.s = seed }
+
+func (s *Source) Uint64() uint64 { s.s++; return s.s }
+
+func (s *Source) Intn(n int) int { return int(s.Uint64()) % n }

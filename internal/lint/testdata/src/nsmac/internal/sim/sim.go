@@ -1,0 +1,12 @@
+// Package sim is the fixture stub of nsmac/internal/sim: the Options struct
+// with its deprecated Feedback field, plus seeded determinism violations in
+// determinism.go.
+package sim
+
+import "nsmac/internal/model"
+
+type Options struct {
+	Feedback model.FeedbackModel
+	Channel  any
+	Quorum   int
+}

@@ -1,0 +1,53 @@
+// Package regfix seeds registryref violations: constructors returning
+// sweep.Case / adversary.Generator literals without their canonical Ref, and
+// registry names that break the entry grammar.
+package regfix
+
+import (
+	"errors"
+
+	"nsmac/internal/adversary"
+	"nsmac/internal/sweep"
+)
+
+func badGenerator() adversary.Generator {
+	return adversary.Generator{ // want "Generator literal returned without its canonical Ref"
+		Name: "bad",
+	}
+}
+
+func goodGenerator() adversary.Generator {
+	return adversary.Generator{Name: "good", Ref: "good"}
+}
+
+func badCase(arg int64, hasArg bool) (sweep.Case, error) {
+	if !hasArg {
+		return sweep.Case{}, errors.New("arg required")
+	}
+	return sweep.Case{Name: "bad", MaxK: int(arg)}, nil // want "Case literal returned without its canonical Ref"
+}
+
+func emptyRefOnPurpose() adversary.Generator {
+	// The wire-less configuration documents its empty Ref explicitly.
+	return adversary.Generator{Name: "synthetic", Ref: ""}
+}
+
+func filledBeforeReturn(name string) sweep.Case {
+	var c sweep.Case
+	c.Name = name
+	c.Ref = name
+	return c
+}
+
+func ptrCase() *sweep.Case {
+	return &sweep.Case{Name: "ptr"} // want "Case literal returned without its canonical Ref"
+}
+
+func init() {
+	sweep.RegisterCase("good_name", func(arg int64, hasArg bool) (sweep.Case, error) {
+		return sweep.Case{Name: "good_name", Ref: "good_name"}, nil
+	})
+	sweep.RegisterCase("Upper", nil)    // want "does not fit the entry grammar"
+	sweep.RegisterPattern("bad:x", nil) // want "does not fit the entry grammar"
+	sweep.RegisterChannel("erasure", nil)
+}

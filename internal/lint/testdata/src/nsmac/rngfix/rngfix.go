@@ -1,0 +1,50 @@
+// Package rngfix seeds rngstream violations: a math/rand import, raw
+// constant seeds handed to rng.New and Source.Reseed, and streams escaping
+// into goroutines.
+package rngfix
+
+import (
+	"math/rand" // want "import of math/rand"
+
+	"nsmac/internal/rng"
+)
+
+var global = rand.New(rand.NewSource(99))
+
+func rawSeeds() {
+	_ = rng.New(42) // want "rng.New with a raw constant seed"
+	const fixed = 7
+	_ = rng.New(fixed) // want "rng.New with a raw constant seed"
+}
+
+func derived(seed uint64) *rng.Source {
+	src := rng.New(seed)
+	src.Reseed(9) // want "Source.Reseed with a raw constant seed"
+	src.Reseed(rng.Derive(seed, 3))
+	child := rng.New(rng.Derive(seed, 4))
+	return child
+}
+
+func escapes(src *rng.Source, done chan struct{}) {
+	go func() {
+		_ = src.Uint64() // want "captured by a goroutine"
+		close(done)
+	}()
+	go consume(src) // want "passed into a goroutine"
+}
+
+func consume(s *rng.Source) { _ = s.Uint64() }
+
+func ownStream(seed uint64, done chan struct{}) {
+	// A goroutine may own a stream it derives itself.
+	go func() {
+		local := rng.New(seed)
+		_ = local.Uint64()
+		close(done)
+	}()
+}
+
+func replay(src *rng.Source) {
+	//nsmac:rngstream-ok replay harness re-seeds from a recorded trace
+	src.Reseed(1)
+}

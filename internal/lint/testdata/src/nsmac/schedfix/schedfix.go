@@ -1,0 +1,63 @@
+// Package schedfix seeds the kernel memo-poisoning regression: an oblivious
+// algorithm whose Build consults two knobs while ObliviousClass folds only
+// one into ConfigFields, so two distinct configurations would share one
+// kernel memo bucket.
+package schedfix
+
+import "nsmac/internal/model"
+
+// TwoKnob reads Gap directly and Cap through a helper; its class fingerprint
+// forgets Cap.
+type TwoKnob struct {
+	Gap int64
+	Cap int
+}
+
+func (a *TwoKnob) Name() string { return "twoknob" }
+
+func (a *TwoKnob) capFor() int { return a.Cap }
+
+func (a *TwoKnob) Build(p model.Params, id int, wake int64) model.TransmitFunc {
+	gap := a.Gap
+	limit := int64(a.capFor())
+	return func(t int64) bool {
+		return t >= wake && (t-wake)%gap == 0 && t < wake+limit
+	}
+}
+
+func (a *TwoKnob) ObliviousClass() (model.ScheduleClass, bool) { // want "never consults field\\(s\\) Cap read by Build"
+	return model.ScheduleClass{
+		WakeSensitive: true,
+		Config:        model.ConfigFields(uint64(a.Gap)),
+	}, true
+}
+
+// AllKnobs folds every schedule-shaping field it reads; no diagnostic.
+type AllKnobs struct {
+	Gap int64
+	Cap int
+}
+
+func (a *AllKnobs) Build(p model.Params, id int, wake int64) model.TransmitFunc {
+	gap := a.Gap
+	limit := int64(a.Cap)
+	return func(t int64) bool { return (t-wake)%gap == 0 && t < wake+limit }
+}
+
+func (a *AllKnobs) ObliviousClass() (model.ScheduleClass, bool) {
+	return model.ScheduleClass{
+		WakeSensitive: true,
+		Config:        model.ConfigFields(uint64(a.Gap), uint64(a.Cap)),
+	}, true
+}
+
+// NoKnobs has no configuration at all; no diagnostic.
+type NoKnobs struct{}
+
+func (a NoKnobs) Build(p model.Params, id int, wake int64) model.TransmitFunc {
+	return func(t int64) bool { return t == wake }
+}
+
+func (a NoKnobs) ObliviousClass() (model.ScheduleClass, bool) {
+	return model.ScheduleClass{WakeSensitive: true}, true
+}

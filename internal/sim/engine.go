@@ -83,6 +83,7 @@ func (e *Engine) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 	e.useAdaptive = opt.Adaptive && e.adaptiveAlgo != nil
 	chm := opt.Channel
 	if chm == nil {
+		//nsmac:deprecated-ok the nil-Channel fallback is the enum's audited resolution site
 		chm = opt.Feedback.Model()
 	}
 	// The channel's perturbation stream derives from the run seed on its own

@@ -34,6 +34,7 @@ type Options struct {
 	//
 	// Deprecated: set Channel instead; Feedback is consulted only when
 	// Channel is nil and resolves via model.FeedbackModel.Model.
+	//nsmac:deprecated-ok the deprecated field's own declaration anchors the alias layer
 	Feedback model.FeedbackModel
 	// Adaptive runs stations via BuildAdaptive when the algorithm supports
 	// it, delivering per-slot feedback to every awake station.

@@ -1,0 +1,139 @@
+package sweep_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nsmac/internal/sweep"
+)
+
+// channelArgExamples supplies a canonical argument for the channel families
+// that refuse to resolve argless.
+var channelArgExamples = map[string]string{
+	"noisy": "noisy:0.05",
+	"jam":   "jam:3",
+}
+
+// TestRegistryRefIntegrity is the runtime complement of the registryref
+// analyzer: for every registered name, the resolved value's Ref must be
+// non-empty and must re-resolve to a value carrying the identical Ref —
+// otherwise a SpecDoc written on one machine silently reconstructs a
+// different grid on another.
+func TestRegistryRefIntegrity(t *testing.T) {
+	for _, name := range sweep.CaseNames() {
+		c, err := sweep.ResolveCase(name)
+		if err != nil {
+			t.Errorf("case %q does not resolve argless: %v", name, err)
+			continue
+		}
+		if c.Ref == "" {
+			t.Errorf("case %q resolved with an empty Ref", name)
+			continue
+		}
+		back, err := sweep.ResolveCase(c.Ref)
+		if err != nil {
+			t.Errorf("case %q: Ref %q does not re-resolve: %v", name, c.Ref, err)
+			continue
+		}
+		if back.Ref != c.Ref {
+			t.Errorf("case %q: Ref drifts across resolution: %q -> %q", name, c.Ref, back.Ref)
+		}
+	}
+
+	shape := sweep.DefaultPatternShape()
+	for _, name := range sweep.PatternNames() {
+		g, err := sweep.ResolvePattern(name, shape)
+		if err != nil {
+			t.Errorf("pattern %q does not resolve argless: %v", name, err)
+			continue
+		}
+		if g.Ref == "" {
+			t.Errorf("pattern %q resolved with an empty Ref", name)
+			continue
+		}
+		back, err := sweep.ResolvePattern(g.Ref, shape)
+		if err != nil {
+			t.Errorf("pattern %q: Ref %q does not re-resolve: %v", name, g.Ref, err)
+			continue
+		}
+		if back.Ref != g.Ref {
+			t.Errorf("pattern %q: Ref drifts across resolution: %q -> %q", name, g.Ref, back.Ref)
+		}
+	}
+
+	for _, name := range sweep.ChannelNames() {
+		entry := name
+		if ex, ok := channelArgExamples[name]; ok {
+			entry = ex
+		}
+		m, err := sweep.ResolveChannel(entry)
+		if err != nil {
+			t.Errorf("channel %q does not resolve from %q: %v", name, entry, err)
+			continue
+		}
+		if m.Name() == "" {
+			t.Errorf("channel %q resolved with an empty wire name", name)
+			continue
+		}
+		back, err := sweep.ResolveChannel(m.Name())
+		if err != nil {
+			t.Errorf("channel %q: wire name %q does not re-resolve: %v", name, m.Name(), err)
+			continue
+		}
+		if back.Name() != m.Name() {
+			t.Errorf("channel %q: wire name drifts across resolution: %q -> %q", name, m.Name(), back.Name())
+		}
+	}
+}
+
+// TestRegistrySpecDocRoundTrip drives every registered name (including arg'd
+// and @start-shifted spellings) through the full SpecDoc cycle:
+// resolve -> dump -> encode -> parse -> resolve -> dump. The second document
+// must equal the first byte-for-byte, and Doc's internal fingerprint check
+// guards the compiled grids.
+func TestRegistrySpecDocRoundTrip(t *testing.T) {
+	doc := sweep.SpecDoc{
+		Name:     "registry-integrity",
+		Cases:    append(sweep.CaseNames(), "wakeup_with_s:5"),
+		Patterns: append(sweep.PatternNames(), "staggered:9", "uniform:32@5", "swap:1"),
+		Ns:       []int{8},
+		Ks:       []int{2},
+		Trials:   1,
+		Seed:     7,
+	}
+	for _, name := range sweep.ChannelNames() {
+		entry := name
+		if ex, ok := channelArgExamples[name]; ok {
+			entry = ex
+		}
+		doc.Channels = append(doc.Channels, entry)
+	}
+
+	spec, err := doc.Resolve()
+	if err != nil {
+		t.Fatalf("resolving the all-registry document: %v", err)
+	}
+	dumped, err := spec.Doc()
+	if err != nil {
+		t.Fatalf("dumping the resolved spec: %v", err)
+	}
+	encoded, err := dumped.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := sweep.ParseSpecDoc(encoded)
+	if err != nil {
+		t.Fatalf("re-parsing the dumped document: %v", err)
+	}
+	respec, err := parsed.Resolve()
+	if err != nil {
+		t.Fatalf("re-resolving the dumped document: %v", err)
+	}
+	redumped, err := respec.Doc()
+	if err != nil {
+		t.Fatalf("re-dumping the re-resolved spec: %v", err)
+	}
+	if !reflect.DeepEqual(dumped, redumped) {
+		t.Fatalf("SpecDoc does not stabilize after one resolve->dump cycle:\nfirst:  %+v\nsecond: %+v", dumped, redumped)
+	}
+}
