@@ -31,6 +31,18 @@
 //	wakeup-bench run -spec grid.json -shards 3 -exec subprocess -store runs -resume
 //	wakeup-bench run -spec grid.json -shards 4 \
 //	    -exec 'cmd:ssh host wakeup-bench -spec - -shard {i}/{m}'
+//
+// Sweep-as-a-service flips the driver inside out: a long-lived server owns
+// the shard queue and pull-based lease workers (any machine that can reach
+// it) do the computing — with heartbeats, lease expiry, work stealing and
+// shard autotuning. Merged results stream while shards are in flight and
+// finish byte-identical to the one-process run:
+//
+//	wakeup-bench serve -addr :8080 -store runs &
+//	wakeup-bench submit -server http://localhost:8080 -spec grid.json   # → c1
+//	wakeup-bench work -server http://localhost:8080 &                   # × N workers
+//	wakeup-bench status -server http://localhost:8080 -campaign c1
+//	wakeup-bench status -server http://localhost:8080 -campaign c1 -grid grid
 package main
 
 import (
@@ -57,6 +69,18 @@ func main() {
 			return
 		case "run":
 			runDispatch(os.Args[2:])
+			return
+		case "serve":
+			runServe(os.Args[2:])
+			return
+		case "work":
+			runWork(os.Args[2:])
+			return
+		case "submit":
+			runSubmit(os.Args[2:])
+			return
+		case "status":
+			runStatus(os.Args[2:])
 			return
 		}
 	}
@@ -350,7 +374,8 @@ func runDispatch(args []string) {
 		batch    = fs.Int("batch", 0, "trials per work item (0 = auto); tunes scheduling overhead, never output")
 		format   = fs.String("format", "text", "output format: text | csv | json")
 		outFile  = fs.String("out", "", "write merged output to this file instead of stdout")
-		quiet    = fs.Bool("quiet", false, "suppress per-shard progress lines on stderr")
+		progress = fs.String("progress", "text", "per-shard progress on stderr: text | json (one event per line) | none")
+		quiet    = fs.Bool("quiet", false, "shorthand for -progress none")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: wakeup-bench run -spec grid.json -shards m [-exec local|subprocess[:bin]|cmd:...] [-store dir [-resume]] ...\n")
@@ -400,22 +425,10 @@ func runDispatch(args []string) {
 	if *storeDir != "" {
 		d.Store = &sweep.RunStore{Dir: *storeDir}
 	}
-	if !*quiet {
-		d.Progress = func(ev sweep.Event) {
-			switch ev.State {
-			case sweep.EventCached:
-				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d already in store, skipping\n", ev.Shard, ev.Shards)
-			case sweep.EventStart:
-				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d attempt %d...\n", ev.Shard, ev.Shards, ev.Attempt)
-			case sweep.EventDone:
-				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d done\n", ev.Shard, ev.Shards)
-			case sweep.EventRetry:
-				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d attempt %d failed (%v), retrying\n", ev.Shard, ev.Shards, ev.Attempt, ev.Err)
-			case sweep.EventFailed:
-				fmt.Fprintf(os.Stderr, "wakeup-bench: shard %d/%d failed after %d attempts: %v\n", ev.Shard, ev.Shards, ev.Attempt, ev.Err)
-			}
-		}
+	if *quiet {
+		*progress = "none"
 	}
+	d.Progress = dispatchProgress(*progress)
 
 	// SIGINT/SIGTERM cancel the dispatch context: in-flight subprocess
 	// shards are killed, and — with a store — every completed envelope is

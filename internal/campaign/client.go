@@ -1,0 +1,197 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+
+	"nsmac/internal/sweep"
+)
+
+// Client speaks the campaign server's HTTP API. The zero value is not
+// usable; construct with NewClient.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// NewClient returns a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). httpClient nil uses http.DefaultClient.
+func NewClient(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), http: httpClient}
+}
+
+// Submit ships a manifest and returns the assigned campaign ID.
+func (c *Client) Submit(ctx context.Context, m Manifest) (string, error) {
+	body, err := json.Marshal(m)
+	if err != nil {
+		return "", err
+	}
+	var resp submitResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/campaigns", body, &resp); err != nil {
+		return "", err
+	}
+	return resp.Campaign, nil
+}
+
+// Lease asks for one shard of work. No work available returns (nil, nil).
+func (c *Client) Lease(ctx context.Context, worker string) (*LeaseGrant, error) {
+	path := "/v1/lease?worker=" + url.QueryEscape(worker)
+	var grant LeaseGrant
+	status, err := c.do(ctx, http.MethodPost, path, nil, &grant)
+	if err != nil {
+		return nil, err
+	}
+	if status == http.StatusNoContent {
+		return nil, nil
+	}
+	return &grant, nil
+}
+
+// Heartbeat renews a lease; ErrLeaseLost means the shard was re-served and
+// the worker must abandon it.
+func (c *Client) Heartbeat(ctx context.Context, leaseID string) error {
+	var resp heartbeatResponse
+	_, err := c.do(ctx, http.MethodPost, "/v1/lease/"+url.PathEscape(leaseID)+"/heartbeat", nil, &resp)
+	return err
+}
+
+// Complete uploads a shard envelope for a lease. duplicate reports a lost
+// steal race (the shard was already complete — harmless, identical bytes).
+func (c *Client) Complete(ctx context.Context, leaseID string, env *sweep.ShardResult) (duplicate bool, err error) {
+	body, err := env.Encode()
+	if err != nil {
+		return false, err
+	}
+	var resp completeResponse
+	if _, err := c.do(ctx, http.MethodPost, "/v1/lease/"+url.PathEscape(leaseID)+"/complete", body, &resp); err != nil {
+		return false, err
+	}
+	return resp.Duplicate, nil
+}
+
+// Fail reports an executor failure on a lease so the shard requeues
+// immediately.
+func (c *Client) Fail(ctx context.Context, leaseID string, cause error) error {
+	msg := ""
+	if cause != nil {
+		msg = cause.Error()
+	}
+	body, err := json.Marshal(failRequest{Error: msg})
+	if err != nil {
+		return err
+	}
+	_, err = c.do(ctx, http.MethodPost, "/v1/lease/"+url.PathEscape(leaseID)+"/fail", body, nil)
+	return err
+}
+
+// Status fetches one campaign's progress.
+func (c *Client) Status(ctx context.Context, campaignID string) (*CampaignStatus, error) {
+	var st CampaignStatus
+	if _, err := c.do(ctx, http.MethodGet, "/v1/campaigns/"+url.PathEscape(campaignID), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Campaigns fetches every campaign's progress.
+func (c *Client) Campaigns(ctx context.Context) ([]*CampaignStatus, error) {
+	var out []*CampaignStatus
+	if _, err := c.do(ctx, http.MethodGet, "/v1/campaigns", nil, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Results fetches a grid's merged results in the given format ("" =
+// "text"). complete reports whether every shard is in; done/total count
+// shards.
+func (c *Client) Results(ctx context.Context, campaignID, gridID, format string) (out string, complete bool, done, total int, err error) {
+	path := "/v1/campaigns/" + url.PathEscape(campaignID) + "/grids/" + url.PathEscape(gridID) + "/results"
+	if format != "" {
+		path += "?format=" + url.QueryEscape(format)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return "", false, 0, 0, err
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return "", false, 0, 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", false, 0, 0, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", false, 0, 0, apiError(resp.StatusCode, data)
+	}
+	complete = resp.Header.Get("X-Nsmac-Complete") == "true"
+	fmt.Sscanf(resp.Header.Get("X-Nsmac-Shards-Done"), "%d/%d", &done, &total)
+	return string(data), complete, done, total, nil
+}
+
+// do issues one JSON round-trip: body (nil for none) out, decoded reply
+// into out (nil to discard). Non-2xx replies decode the {"error": ...}
+// body and map 410 onto ErrLeaseLost / 404 onto ErrNotFound so callers can
+// errors.Is them.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) (int, error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return 0, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return resp.StatusCode, err
+	}
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return resp.StatusCode, apiError(resp.StatusCode, data)
+	}
+	if out != nil && resp.StatusCode != http.StatusNoContent {
+		if err := json.Unmarshal(data, out); err != nil {
+			return resp.StatusCode, fmt.Errorf("campaign: bad server reply: %w", err)
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// apiError turns a non-2xx reply into a Go error, resurfacing the
+// package's sentinel errors from their status codes.
+func apiError(status int, body []byte) error {
+	var er errorResponse
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &er) == nil && er.Error != "" {
+		msg = er.Error
+	}
+	switch status {
+	case http.StatusGone:
+		return fmt.Errorf("%w: %s", ErrLeaseLost, msg)
+	case http.StatusNotFound:
+		return fmt.Errorf("%w: %s", ErrNotFound, msg)
+	case http.StatusConflict:
+		return fmt.Errorf("%w: %s", ErrNoResults, msg)
+	default:
+		return fmt.Errorf("campaign: server returned %d: %s", status, msg)
+	}
+}

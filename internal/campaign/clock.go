@@ -1,0 +1,27 @@
+package campaign
+
+import "time"
+
+// Clock abstracts the wall clock the lease machinery reads. Everything
+// time-dependent in this package — lease deadlines, visibility-timeout
+// expiry, straggler detection, the wall-clock observations that drive shard
+// autotuning — goes through a Clock, never through time.Now directly. That
+// is the package's determinism contract: the nsmacvet determinism analyzer
+// covers internal/campaign, and the single audited wall-clock read below is
+// the only sanctioned source of server time. Tests substitute a hand-driven
+// fake and replay lease timelines deterministically.
+type Clock interface {
+	Now() time.Time
+}
+
+// systemClock is the production clock.
+type systemClock struct{}
+
+// Now implements Clock.
+func (systemClock) Now() time.Time {
+	//nsmac:nondeterminism-ok the one sanctioned wall-clock read: lease deadlines are service time, never trial data
+	return time.Now()
+}
+
+// SystemClock returns the production wall clock.
+func SystemClock() Clock { return systemClock{} }

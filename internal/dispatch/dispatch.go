@@ -83,10 +83,10 @@ func PlanShards(doc sweep.SpecDoc, count int) ([]ShardPlan, []string, error) {
 	return plans, skipped, nil
 }
 
-// checkEnvelope verifies an envelope an executor produced (or a store held)
+// CheckEnvelope verifies an envelope an executor produced (or a store held)
 // actually answers the plan: internally consistent, same grid fingerprint,
 // same shard coordinates, same full trial count.
-func checkEnvelope(r *sweep.ShardResult, plan ShardPlan) error {
+func CheckEnvelope(r *sweep.ShardResult, plan ShardPlan) error {
 	if r == nil {
 		return fmt.Errorf("dispatch: executor returned no envelope")
 	}
@@ -217,7 +217,7 @@ func (s Subprocess) Run(ctx context.Context, plan ShardPlan) (*sweep.ShardResult
 	if err != nil {
 		return nil, err
 	}
-	if err := checkEnvelope(r, plan); err != nil {
+	if err := CheckEnvelope(r, plan); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -303,7 +303,7 @@ func (c Command) Run(ctx context.Context, plan ShardPlan) (*sweep.ShardResult, e
 	if err != nil {
 		return nil, err
 	}
-	if err := checkEnvelope(r, plan); err != nil {
+	if err := CheckEnvelope(r, plan); err != nil {
 		return nil, err
 	}
 	return r, nil

@@ -3,8 +3,11 @@ package dispatch
 import (
 	"context"
 	"fmt"
+	"strconv"
 	"sync"
+	"time"
 
+	"nsmac/internal/rng"
 	"nsmac/internal/sweep"
 )
 
@@ -37,8 +40,9 @@ type Event struct {
 }
 
 // Driver executes a full shard plan through an Executor: bounded shard
-// concurrency, per-shard attempt caps, optional resume from a RunStore, a
-// progress callback, and context cancellation. Run returns the merged
+// concurrency, per-shard attempt caps with jittered exponential backoff
+// between attempts, optional resume from a RunStore, a progress callback,
+// and context cancellation. Run returns the merged
 // Result, whose text/CSV/JSON render is byte-identical to executing the
 // grid in a single process.
 type Driver struct {
@@ -62,6 +66,79 @@ type Driver struct {
 	// for different shards arrive from different goroutines, but never
 	// concurrently: the driver serializes the callback.
 	Progress func(Event)
+	// BackoffBase is the wait before the second attempt at a failed shard;
+	// the wait doubles per further attempt with deterministic ±50% jitter
+	// (derived from the grid fingerprint, shard index and attempt number, so
+	// two shards that fail together never retry in lockstep). Zero selects
+	// DefaultBackoffBase; negative disables the wait entirely (the pre-backoff
+	// immediate-retry behavior, and what most driver tests want).
+	BackoffBase time.Duration
+	// BackoffMax caps the exponential wait (zero selects DefaultBackoffMax).
+	BackoffMax time.Duration
+	// Sleep, when non-nil, replaces the real context-aware wait between
+	// attempts — the clock hook that keeps retry tests fast and deterministic.
+	// It must return ctx.Err() if the context ends before the wait does.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+// Default retry-backoff envelope: first retry after ~200ms (jittered to
+// 100–300ms), doubling per attempt, never more than 5s.
+const (
+	DefaultBackoffBase = 200 * time.Millisecond
+	DefaultBackoffMax  = 5 * time.Second
+)
+
+// backoff returns the jittered wait before attempt+1 of a shard, or zero when
+// backoff is disabled. The jitter is a pure function of (fingerprint, shard,
+// attempt): deterministic for tests, yet de-synchronized across shards.
+func (d *Driver) backoff(plan ShardPlan, attempt int) time.Duration {
+	base := d.BackoffBase
+	if base == 0 {
+		base = DefaultBackoffBase
+	}
+	if base < 0 {
+		return 0
+	}
+	max := d.BackoffMax
+	if max <= 0 {
+		max = DefaultBackoffMax
+	}
+	wait := base << (attempt - 1)
+	if wait <= 0 || wait > max { // <= 0 guards shift overflow at silly attempt counts
+		wait = max
+	}
+	// Fold the fingerprint's leading hex into the jitter stream so distinct
+	// grids (and shards, and attempts) spread their retries apart.
+	fp, _ := strconv.ParseUint(firstN(plan.Fingerprint, 16), 16, 64)
+	h := rng.Hash3(fp, uint64(plan.Index), uint64(plan.Count), uint64(attempt))
+	frac := float64(h>>11) / (1 << 53) // [0, 1)
+	return time.Duration((0.5 + frac) * float64(wait))
+}
+
+// sleep waits between attempts, honoring cancellation; Sleep hooks it.
+func (d *Driver) sleep(ctx context.Context, wait time.Duration) error {
+	if wait <= 0 {
+		return nil
+	}
+	if d.Sleep != nil {
+		return d.Sleep(ctx, wait)
+	}
+	t := time.NewTimer(wait)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// firstN returns at most the first n bytes of s.
+func firstN(s string, n int) string {
+	if len(s) > n {
+		return s[:n]
+	}
+	return s
 }
 
 // Run dispatches every shard of the m-shard plan for doc and merges the
@@ -195,7 +272,7 @@ func (d *Driver) runShard(ctx context.Context, exec Executor, plan ShardPlan, at
 		emit(Event{State: EventStart, Shard: plan.Index, Shards: plan.Count, Attempt: attempt})
 		r, err := exec.Run(ctx, plan)
 		if err == nil {
-			err = checkEnvelope(r, plan)
+			err = CheckEnvelope(r, plan)
 		}
 		if err == nil && d.Store != nil {
 			err = d.Store.Save(r)
@@ -220,6 +297,12 @@ func (d *Driver) runShard(ctx context.Context, exec Executor, plan ShardPlan, at
 		}
 		if attempt < attempts {
 			emit(Event{State: EventRetry, Shard: plan.Index, Shards: plan.Count, Attempt: attempt, Err: err})
+			// Jittered exponential backoff before the next attempt: an
+			// executor that failed because a host or queue is saturated gets
+			// breathing room instead of an immediate identical re-run.
+			if err := d.sleep(ctx, d.backoff(plan, attempt)); err != nil {
+				return nil, err
+			}
 		}
 	}
 	emit(Event{State: EventFailed, Shard: plan.Index, Shards: plan.Count, Attempt: attempts, Err: lastErr})

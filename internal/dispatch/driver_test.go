@@ -194,6 +194,7 @@ func TestDriverRetries(t *testing.T) {
 	exec := newCountingExec(Local{})
 	exec.failFirst[1] = true
 	var retries []Event
+	var waits []time.Duration
 	d := &Driver{
 		Exec:        exec,
 		MaxAttempts: 2,
@@ -201,6 +202,11 @@ func TestDriverRetries(t *testing.T) {
 			if ev.State == EventRetry {
 				retries = append(retries, ev)
 			}
+		},
+		// Clock hook: record the backoff instead of actually sleeping.
+		Sleep: func(ctx context.Context, d time.Duration) error {
+			waits = append(waits, d)
+			return nil
 		},
 	}
 	res, err := d.Run(context.Background(), doc, 3)
@@ -212,6 +218,14 @@ func TestDriverRetries(t *testing.T) {
 	}
 	if len(retries) != 1 || retries[0].Shard != 1 || retries[0].Attempt != 1 {
 		t.Errorf("retry events %+v", retries)
+	}
+	// The failed attempt backed off before the re-run, inside the ±50%
+	// jitter envelope around the default base.
+	if len(waits) != 1 {
+		t.Fatalf("saw %d backoff waits, want 1", len(waits))
+	}
+	if lo, hi := DefaultBackoffBase/2, 3*DefaultBackoffBase/2; waits[0] < lo || waits[0] > hi {
+		t.Errorf("backoff %v outside [%v, %v]", waits[0], lo, hi)
 	}
 	got, _ := res.Render("text")
 	if want := wholeRender(t, doc, "text"); got != want {
@@ -227,6 +241,7 @@ func TestDriverAttemptCap(t *testing.T) {
 	d := &Driver{
 		Exec:        exec,
 		MaxAttempts: 3,
+		BackoffBase: -1, // this test is about the cap, not the waits
 		Progress: func(ev Event) {
 			if ev.State == EventFailed {
 				failed = append(failed, ev)
@@ -366,6 +381,46 @@ func TestDriverCancellation(t *testing.T) {
 		t.Fatal("driver did not stop after cancellation")
 	}
 	close(block)
+}
+
+// TestDriverBackoffSchedule pins the retry-backoff shape: exponential in the
+// attempt number, capped at BackoffMax, jittered within ±50%, and a pure
+// function of (grid fingerprint, shard, attempt) — so tests reproduce it and
+// co-failing shards never retry in lockstep.
+func TestDriverBackoffSchedule(t *testing.T) {
+	plans, _, err := PlanShards(testDoc(t), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := &Driver{BackoffBase: time.Second, BackoffMax: 10 * time.Second}
+
+	for attempt := 1; attempt <= 6; attempt++ {
+		base := time.Second << (attempt - 1)
+		if base > 10*time.Second {
+			base = 10 * time.Second
+		}
+		w := d.backoff(plans[0], attempt)
+		if w < base/2 || w > 3*base/2 {
+			t.Errorf("attempt %d backoff %v outside [%v, %v]", attempt, w, base/2, 3*base/2)
+		}
+	}
+	if got, again := d.backoff(plans[1], 2), d.backoff(plans[1], 2); got != again {
+		t.Errorf("backoff is not deterministic: %v vs %v", got, again)
+	}
+	if d.backoff(plans[0], 1) == d.backoff(plans[1], 1) {
+		t.Error("distinct shards drew identical jitter")
+	}
+	// An absurd attempt count must not overflow the shift past the cap.
+	if w := d.backoff(plans[0], 80); w > 15*time.Second {
+		t.Errorf("capped backoff %v exceeds 1.5×max", w)
+	}
+	if w := (&Driver{BackoffBase: -1}).backoff(plans[0], 1); w != 0 {
+		t.Errorf("disabled backoff waited %v", w)
+	}
+	// The default-selecting zero value backs off around DefaultBackoffBase.
+	if w := (&Driver{}).backoff(plans[0], 1); w < DefaultBackoffBase/2 || w > 3*DefaultBackoffBase/2 {
+		t.Errorf("default backoff %v outside the jitter envelope", w)
+	}
 }
 
 type blockingExec struct{ block chan struct{} }

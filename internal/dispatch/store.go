@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"nsmac/internal/sweep"
@@ -117,7 +119,7 @@ func (s RunStore) Load(plan ShardPlan) (*sweep.ShardResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := checkEnvelope(r, plan); err != nil {
+	if err := CheckEnvelope(r, plan); err != nil {
 		return nil, err
 	}
 	return r, nil
@@ -128,6 +130,14 @@ func (s RunStore) Load(plan ShardPlan) (*sweep.ShardResult, error) {
 // trail for humans and tests (a resumed run shows attempts only for the
 // shards it actually re-ran); the envelopes alone carry the results.
 func (s RunStore) LogAttempt(fp string, index, count, attempt int, outcome error) error {
+	return s.LogAttemptAs(fp, index, count, attempt, "", outcome)
+}
+
+// LogAttemptAs is LogAttempt with the dispatching identity attached — the
+// lease-aware form the campaign server uses, so the audit trail shows which
+// worker held each lease on a shard (an empty worker writes the classic
+// untagged line the single-driver path emits).
+func (s RunStore) LogAttemptAs(fp string, index, count, attempt int, worker string, outcome error) error {
 	dir := filepath.Join(s.Dir, fp)
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
@@ -141,9 +151,13 @@ func (s RunStore) LogAttempt(fp string, index, count, attempt int, outcome error
 	if outcome != nil {
 		status = "error: " + outcome.Error()
 	}
+	tag := ""
+	if worker != "" {
+		tag = " worker=" + worker
+	}
 	//nsmac:nondeterminism-ok attempt timestamps are an operator audit trail, never parsed into results
-	_, err = fmt.Fprintf(f, "%s shard %d/%d attempt %d: %s\n",
-		time.Now().UTC().Format(time.RFC3339), index, count, attempt, status)
+	_, err = fmt.Fprintf(f, "%s shard %d/%d attempt %d%s: %s\n",
+		time.Now().UTC().Format(time.RFC3339), index, count, attempt, tag, status)
 	return err
 }
 
@@ -155,4 +169,89 @@ func (s RunStore) AttemptLog(fp string) ([]byte, error) {
 		return nil, nil
 	}
 	return data, err
+}
+
+// Attempt is one parsed attempts.log record.
+type Attempt struct {
+	// Shard and Shards are the plan coordinates the attempt dispatched.
+	Shard, Shards int
+	// Attempt is the 1-based attempt (driver) or lease (campaign) number.
+	Attempt int
+	// Worker is the dispatching identity, empty for untagged driver lines.
+	Worker string
+	// OK reports a successful attempt; Detail carries the error text
+	// otherwise.
+	OK     bool
+	Detail string
+}
+
+// Attempts parses the grid's attempt log into records — the accounting view
+// campaign status and the store tests read. Lines that do not parse are
+// reported as an error rather than skipped: the log is append-only and
+// machine-written, so a malformed line means the store was tampered with or
+// torn mid-write.
+func (s RunStore) Attempts(fp string) ([]Attempt, error) {
+	data, err := s.AttemptLog(fp)
+	if err != nil || len(data) == 0 {
+		return nil, err
+	}
+	lines := strings.Split(strings.TrimSuffix(string(data), "\n"), "\n")
+	out := make([]Attempt, 0, len(lines))
+	for _, line := range lines {
+		rec, err := parseAttemptLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// parseAttemptLine decodes one attempts.log line:
+//
+//	<RFC3339> shard <i>/<m> attempt <n>[ worker=<id>]: ok|error: <detail>
+func parseAttemptLine(line string) (Attempt, error) {
+	bad := func() (Attempt, error) {
+		return Attempt{}, fmt.Errorf("dispatch: malformed attempts.log line %q", line)
+	}
+	head, status, ok := strings.Cut(line, ": ")
+	if !ok {
+		return bad()
+	}
+	fields := strings.Fields(head)
+	// timestamp, "shard", i/m, "attempt", n, [worker=id]
+	if len(fields) < 5 || fields[1] != "shard" || fields[3] != "attempt" {
+		return bad()
+	}
+	iStr, mStr, ok := strings.Cut(fields[2], "/")
+	if !ok {
+		return bad()
+	}
+	var rec Attempt
+	var err1, err2, err3 error
+	rec.Shard, err1 = strconv.Atoi(iStr)
+	rec.Shards, err2 = strconv.Atoi(mStr)
+	rec.Attempt, err3 = strconv.Atoi(fields[4])
+	if err1 != nil || err2 != nil || err3 != nil {
+		return bad()
+	}
+	if len(fields) == 6 {
+		worker, ok := strings.CutPrefix(fields[5], "worker=")
+		if !ok {
+			return bad()
+		}
+		rec.Worker = worker
+	} else if len(fields) > 6 {
+		return bad()
+	}
+	if status == "ok" {
+		rec.OK = true
+	} else {
+		detail, ok := strings.CutPrefix(status, "error: ")
+		if !ok {
+			return bad()
+		}
+		rec.Detail = detail
+	}
+	return rec, nil
 }

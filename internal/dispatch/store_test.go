@@ -1,6 +1,7 @@
 package dispatch
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -165,5 +166,109 @@ func TestRunStoreAttemptLog(t *testing.T) {
 	}
 	if !strings.Contains(lines[1], "shard 1/3 attempt 2: error:") {
 		t.Errorf("line 1 = %q", lines[1])
+	}
+}
+
+// TestRunStoreAttemptsRoundTrip: the structured Attempts view parses back
+// exactly what LogAttempt/LogAttemptAs wrote — classic untagged driver
+// lines and worker-tagged campaign lines side by side, error details with
+// colons included.
+func TestRunStoreAttemptsRoundTrip(t *testing.T) {
+	store := RunStore{Dir: t.TempDir()}
+	if recs, err := store.Attempts("feedface"); err != nil || recs != nil {
+		t.Fatalf("empty store parsed as (%+v, %v)", recs, err)
+	}
+	if err := store.LogAttempt("feedface", 0, 2, 1, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LogAttemptAs("feedface", 1, 2, 1, "w1", errors.New("exec: exit status 1: killed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.LogAttemptAs("feedface", 1, 2, 2, "w2", nil); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := store.Attempts("feedface")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Attempt{
+		{Shard: 0, Shards: 2, Attempt: 1, OK: true},
+		{Shard: 1, Shards: 2, Attempt: 1, Worker: "w1", Detail: "exec: exit status 1: killed"},
+		{Shard: 1, Shards: 2, Attempt: 2, Worker: "w2", OK: true},
+	}
+	if len(recs) != len(want) {
+		t.Fatalf("parsed %d records, want %d: %+v", len(recs), len(want), recs)
+	}
+	for i := range want {
+		if recs[i] != want[i] {
+			t.Errorf("record %d = %+v, want %+v", i, recs[i], want[i])
+		}
+	}
+}
+
+// TestRunStoreAttemptsRejectsMalformedLines: the log is machine-written and
+// append-only, so a line that does not parse is evidence of tampering or a
+// torn write — an error, never a silent skip.
+func TestRunStoreAttemptsRejectsMalformedLines(t *testing.T) {
+	for _, line := range []string{
+		"free-form text",
+		"2026-01-01T00:00:00Z shard 0/2 attempt one: ok",
+		"2026-01-01T00:00:00Z shard 02 attempt 1: ok",
+		"2026-01-01T00:00:00Z shard 0/2 attempt 1 pid=7: ok",
+		"2026-01-01T00:00:00Z shard 0/2 attempt 1: crashed",
+	} {
+		store := RunStore{Dir: t.TempDir()}
+		if err := store.LogAttempt("abc123", 0, 2, 1, nil); err != nil {
+			t.Fatal(err)
+		}
+		f, err := os.OpenFile(filepath.Join(store.Dir, "abc123", "attempts.log"), os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(line + "\n"); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		if _, err := store.Attempts("abc123"); err == nil {
+			t.Errorf("malformed line %q parsed without error", line)
+		}
+	}
+}
+
+// TestRunStoreLoadDistinguishesMissingFromCorrupt: resume paths treat both
+// as "re-run this shard", but only a missing file may wrap os.ErrNotExist —
+// a corrupt one must surface a decode/validation error so operators can
+// tell disk loss from tampering.
+func TestRunStoreLoadDistinguishesMissingFromCorrupt(t *testing.T) {
+	doc := testDoc(t)
+	plans, _, err := PlanShards(doc, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := doc.Resolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := spec.Shard(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := RunStore{Dir: t.TempDir()}
+	if err := store.Save(sr); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := store.Load(plans[1]); !errors.Is(err, os.ErrNotExist) {
+		t.Errorf("missing envelope: %v, want os.ErrNotExist", err)
+	}
+	if err := os.WriteFile(store.Path(plans[0]), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err = store.Load(plans[0])
+	if err == nil {
+		t.Fatal("corrupt envelope loaded")
+	}
+	if errors.Is(err, os.ErrNotExist) {
+		t.Errorf("corrupt envelope misreported as missing: %v", err)
 	}
 }

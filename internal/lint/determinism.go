@@ -16,12 +16,16 @@ var Determinism = &Analyzer{
 	Doc: `forbid nondeterminism sources in deterministic packages
 
 In the packages between a trial seed and a rendered table (internal/sim,
-kernel, sweep, channel, stats, bitset, model, core, schedule) this analyzer
-reports wall-clock reads (time.Now, time.Since, time.Until), any use of
-math/rand or math/rand/v2, goroutine spawns outside the sweep.Grid worker
-pool, and range-over-map loops whose bodies append, write output, send on a
-channel, or accumulate floats/strings (map order would leak into results).
-Audited sites carry //nsmac:nondeterminism-ok <reason>.`,
+kernel, sweep, channel, stats, bitset, model, core, schedule — plus
+internal/campaign, whose merged output must stay byte-identical to a
+one-process run) this analyzer reports wall-clock reads (time.Now,
+time.Since, time.Until), any use of math/rand or math/rand/v2, goroutine
+spawns outside the sweep.Grid worker pool, and range-over-map loops whose
+bodies append, write output, send on a channel, or accumulate floats/strings
+(map order would leak into results). Audited sites carry
+//nsmac:nondeterminism-ok <reason>; in internal/campaign the only sanctioned
+wall-clock read is campaign.Clock's system implementation, and the only
+sanctioned goroutine is the worker's lease keep-alive.`,
 	Run: runDeterminism,
 }
 

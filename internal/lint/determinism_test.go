@@ -9,7 +9,7 @@ import (
 
 func TestDeterminism(t *testing.T) {
 	linttest.Run(t, linttest.TestData(), lint.Determinism,
-		"nsmac/internal/sim", "nsmac/internal/sweep")
+		"nsmac/internal/sim", "nsmac/internal/sweep", "nsmac/internal/campaign")
 }
 
 // TestDeterminismScopedToDeterministicPackages proves the analyzer is inert

@@ -9,6 +9,13 @@ import (
 // DeterministicPackages are the import paths whose output feeds the
 // byte-identical determinism guarantee: everything between a trial seed and
 // a rendered table. The determinism analyzer enforces its bans only here.
+//
+// internal/campaign is on the list even though it is service plumbing: its
+// merged results must stay byte-identical to a one-process run, so server
+// time is allowed only behind the campaign.Clock abstraction and the lease
+// keep-alive goroutine — each carrying an audited suppression — and
+// everything else in the package must be as deterministic as the sweep
+// layers it feeds.
 var DeterministicPackages = map[string]bool{
 	"nsmac/internal/sim":      true,
 	"nsmac/internal/kernel":   true,
@@ -19,6 +26,7 @@ var DeterministicPackages = map[string]bool{
 	"nsmac/internal/model":    true,
 	"nsmac/internal/core":     true,
 	"nsmac/internal/schedule": true,
+	"nsmac/internal/campaign": true,
 }
 
 // calleeFunc resolves a call expression to the *types.Func it invokes

@@ -1,0 +1,36 @@
+// Package campaign mirrors the real lease-service package: it lives on the
+// deterministic-packages list, so wall clocks and goroutines are banned
+// except at the audited Clock / keep-alive sites.
+package campaign
+
+import "time"
+
+type Clock interface {
+	Now() time.Time
+}
+
+type systemClock struct{}
+
+func (systemClock) Now() time.Time {
+	//nsmac:nondeterminism-ok the one sanctioned wall-clock read behind the lease clock abstraction
+	return time.Now()
+}
+
+// nakedClock is the shape the analyzer must keep out of this package: server
+// code reading the wall clock directly instead of going through a Clock.
+func nakedClock() time.Time {
+	return time.Now() // want "wall-clock read time.Now in deterministic package"
+}
+
+func leaseAge(granted time.Time) time.Duration {
+	return time.Since(granted) // want "wall-clock read time.Since in deterministic package"
+}
+
+func sanctionedHeartbeat(stop chan struct{}) {
+	//nsmac:nondeterminism-ok lease keep-alive goroutine; shard results never observe it
+	go func() { <-stop }()
+}
+
+func rogueSpawn() {
+	go func() {}() // want "goroutine spawn outside the sanctioned sweep.Grid worker pool"
+}

@@ -257,6 +257,57 @@ func (s Spec) Shard(index, count int) (*ShardResult, error) {
 // counters add exactly and every derived statistic is recomputed from the
 // sorted union of round samples.
 func Merge(shards ...*ShardResult) (*Result, error) {
+	ordered, err := orderShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	first := ordered[0]
+	m := first.Shards
+	if len(ordered) != m {
+		return nil, fmt.Errorf("sweep: have %d shard files for a %d-shard plan", len(ordered), m)
+	}
+	for i, r := range ordered {
+		if r.Shard != i {
+			return nil, fmt.Errorf("sweep: shard indices are not exactly 0..%d (missing or duplicate shard %d)", m-1, i)
+		}
+	}
+	return mergeOrdered(ordered, first.Trials)
+}
+
+// MergePartial reassembles a Result from any subset of one grid's shard
+// envelopes — the incremental form a campaign server streams while shards
+// are still in flight. The subset must be non-empty, hold distinct shard
+// indices of one plan, and cover at least one trial; each cell's aggregate
+// then carries exactly the trials of the shards present, so the render shows
+// honest partial statistics. When the subset is the complete plan, the
+// result — and its render — is identical to Merge's.
+func MergePartial(shards ...*ShardResult) (*Result, error) {
+	ordered, err := orderShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	first := ordered[0]
+	m := first.Shards
+	if len(ordered) > m {
+		return nil, fmt.Errorf("sweep: have %d shard files for a %d-shard plan", len(ordered), m)
+	}
+	trials := 0
+	for i, r := range ordered {
+		if i > 0 && r.Shard == ordered[i-1].Shard {
+			return nil, fmt.Errorf("sweep: duplicate shard %d in partial merge", r.Shard)
+		}
+		trials += ShardTrials(first.Trials, r.Shard, m)
+	}
+	if trials == 0 {
+		return nil, fmt.Errorf("sweep: partial merge covers no trials")
+	}
+	return mergeOrdered(ordered, trials)
+}
+
+// orderShards sorts a copy of the envelope set by shard index and validates
+// the properties every merge needs: at least one envelope, a sane plan size,
+// and agreement on the grid identity and plan geometry.
+func orderShards(shards []*ShardResult) ([]*ShardResult, error) {
 	if len(shards) == 0 {
 		return nil, fmt.Errorf("sweep: merge of zero shards")
 	}
@@ -264,26 +315,27 @@ func Merge(shards ...*ShardResult) (*Result, error) {
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].Shard < ordered[j].Shard })
 
 	first := ordered[0]
-	m := first.Shards
-	if m < 1 {
-		return nil, fmt.Errorf("sweep: shard envelope declares %d shards", m)
+	if first.Shards < 1 {
+		return nil, fmt.Errorf("sweep: shard envelope declares %d shards", first.Shards)
 	}
-	if len(ordered) != m {
-		return nil, fmt.Errorf("sweep: have %d shard files for a %d-shard plan", len(ordered), m)
-	}
-	for i, r := range ordered {
+	for _, r := range ordered {
 		if r.Fingerprint != first.Fingerprint {
 			return nil, fmt.Errorf("sweep: shard %d is from a different grid (fingerprint %s vs %s)",
 				r.Shard, r.Fingerprint, first.Fingerprint)
 		}
-		if r.Shards != m || r.Trials != first.Trials || len(r.Cells) != len(first.Cells) {
+		if r.Shards != first.Shards || r.Trials != first.Trials || len(r.Cells) != len(first.Cells) {
 			return nil, fmt.Errorf("sweep: shard %d disagrees on the plan geometry", r.Shard)
 		}
-		if r.Shard != i {
-			return nil, fmt.Errorf("sweep: shard indices are not exactly 0..%d (missing or duplicate shard %d)", m-1, i)
-		}
 	}
+	return ordered, nil
+}
 
+// mergeOrdered merges the validated, index-ordered envelopes cell by cell,
+// requiring every reassembled cell to reach exactly wantTrials trials (the
+// full grid count for Merge, the covered subset for MergePartial).
+func mergeOrdered(ordered []*ShardResult, wantTrials int) (*Result, error) {
+	first := ordered[0]
+	m := first.Shards
 	out := &Result{
 		Name:  first.Name,
 		Axes:  append([]string(nil), first.Axes...),
@@ -292,7 +344,7 @@ func Merge(shards ...*ShardResult) (*Result, error) {
 	for ci := range first.Cells {
 		labels := first.Cells[ci].Cell
 		var agg stats.Aggregate
-		agg.Reserve(first.Trials)
+		agg.Reserve(wantTrials)
 		for _, r := range ordered {
 			sc := r.Cells[ci]
 			if !slices.Equal(sc.Cell, labels) {
@@ -308,8 +360,8 @@ func Merge(shards ...*ShardResult) (*Result, error) {
 			}
 			agg.Merge(part)
 		}
-		if agg.Trials != first.Trials {
-			return nil, fmt.Errorf("sweep: cell %d reassembled %d trials, want %d", ci, agg.Trials, first.Trials)
+		if agg.Trials != wantTrials {
+			return nil, fmt.Errorf("sweep: cell %d reassembled %d trials, want %d", ci, agg.Trials, wantTrials)
 		}
 		out.Cells[ci] = CellResult{Cell: append([]string(nil), labels...), Agg: agg}
 	}

@@ -434,3 +434,85 @@ func TestSpecShard(t *testing.T) {
 		t.Error("zero-count plan accepted")
 	}
 }
+
+// TestMergePartial: an honest mid-campaign snapshot — any subset of a
+// plan's shards merges into a Result covering exactly the subset's trials,
+// and grows into the full-merge bytes as the remaining shards land.
+func TestMergePartial(t *testing.T) {
+	spec := shardSpec(t)
+	shards := runShards(t, spec, 3)
+
+	base, err := spec.Execute()
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseText, _ := base.Render("text")
+
+	// Subset {0, 2}: 5 trials stripe as shard0={0,3}, shard2={2}, so the
+	// partial covers 3 trials per cell.
+	part, err := sweep.MergePartial(shards[0], shards[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range part.Cells {
+		if c.Agg.Trials != 3 {
+			t.Fatalf("partial cell covers %d trials, want 3", c.Agg.Trials)
+		}
+	}
+	if text, _ := part.Render("text"); text == baseText {
+		t.Error("partial render claims to equal the full run")
+	}
+
+	// Order-insensitive, like Merge.
+	swapped, err := sweep.MergePartial(shards[2], shards[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := part.Render("json")
+	b, _ := swapped.Render("json")
+	if a != b {
+		t.Error("partial merge is order-sensitive")
+	}
+
+	// The full subset reproduces Merge byte for byte.
+	all, err := sweep.MergePartial(shards[0], shards[1], shards[2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if text, _ := all.Render("text"); text != baseText {
+		t.Error("full-subset partial merge differs from one-process run")
+	}
+}
+
+// TestMergePartialValidation: duplicates, cross-grid mixtures, and subsets
+// that cover zero trials are refused.
+func TestMergePartialValidation(t *testing.T) {
+	spec := shardSpec(t)
+	shards := runShards(t, spec, 3)
+
+	if _, err := sweep.MergePartial(); err == nil {
+		t.Error("empty subset accepted")
+	}
+	if _, err := sweep.MergePartial(shards[1], shards[1]); err == nil {
+		t.Error("duplicate shard accepted")
+	}
+	other := spec
+	other.Seed = 7
+	foreign := runShards(t, other, 3)
+	if _, err := sweep.MergePartial(shards[0], foreign[1]); err == nil {
+		t.Error("cross-grid subset accepted")
+	}
+
+	// A plan wider than the trial count has empty shards; a subset of only
+	// empty shards covers zero trials and cannot render.
+	narrow := spec
+	narrow.Trials = 2
+	wide := runShards(t, narrow, 5)
+	if _, err := sweep.MergePartial(wide[3], wide[4]); err == nil {
+		t.Error("zero-trial subset accepted")
+	}
+	// But a mixed subset containing a covered stripe is fine.
+	if _, err := sweep.MergePartial(wide[0], wide[4]); err != nil {
+		t.Errorf("mixed subset rejected: %v", err)
+	}
+}

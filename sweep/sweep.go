@@ -157,6 +157,11 @@ func ParseInts(list string) ([]int, error) { return isweep.ParseInts(list) }
 // single-process run of the same spec.
 func Merge(shards ...*ShardResult) (*Result, error) { return isweep.Merge(shards...) }
 
+// MergePartial reassembles a Result from any distinct subset of one grid's
+// shard envelopes — the incremental merge a campaign server streams while
+// shards are still in flight. A complete subset renders identically to Merge.
+func MergePartial(shards ...*ShardResult) (*Result, error) { return isweep.MergePartial(shards...) }
+
 // DecodeShardResult decodes one shard envelope strictly.
 func DecodeShardResult(data []byte) (*ShardResult, error) { return isweep.DecodeShardResult(data) }
 
