@@ -1,0 +1,133 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"text/tabwriter"
+)
+
+// runCompare implements `benchjson compare old.json new.json`: a
+// per-benchmark delta table over two archived snapshots, gated by an optional
+// regression threshold. Benchmarks are matched by (pkg, name); entries
+// present on only one side are listed but never gate. The delta sign
+// convention follows the metric: ns/op-style metrics regress upward, while
+// -higher-better metrics (cells/sec throughput) regress downward.
+//
+// Exit status: 0 on success, 1 when -threshold is non-zero and some matched
+// benchmark regressed past it, 2 on usage or input errors.
+func runCompare(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("compare", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		metric       = fs.String("metric", "ns/op", "metric unit to compare")
+		threshold    = fs.Float64("threshold", 0, "fail (exit 1) when a benchmark regresses by more than this percentage; 0 reports only")
+		higherBetter = fs.Bool("higher-better", false, "treat increases in the metric as improvements (throughput units)")
+	)
+	fs.Usage = func() {
+		fmt.Fprintln(stderr, "usage: benchjson compare [-metric ns/op] [-threshold pct] [-higher-better] old.json new.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2
+	}
+	oldDoc, err := loadDoc(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+	newDoc, err := loadDoc(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 2
+	}
+
+	oldBy := make(map[string]Benchmark, len(oldDoc.Benchmarks))
+	for _, b := range oldDoc.Benchmarks {
+		oldBy[b.Pkg+" "+b.Name] = b
+	}
+
+	tw := tabwriter.NewWriter(stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprintf(tw, "benchmark\told %s\tnew %s\tdelta\t\n", *metric, *metric)
+	regressed := 0
+	matched := 0
+	seen := make(map[string]bool, len(newDoc.Benchmarks))
+	for _, nb := range newDoc.Benchmarks {
+		key := nb.Pkg + " " + nb.Name
+		seen[key] = true
+		ob, ok := oldBy[key]
+		if !ok {
+			fmt.Fprintf(tw, "%s\t-\t%s\tadded\t\n", nb.Name, formatMetric(nb.Metrics[*metric]))
+			continue
+		}
+		ov, oOK := ob.Metrics[*metric]
+		nv, nOK := nb.Metrics[*metric]
+		if !oOK || !nOK {
+			fmt.Fprintf(tw, "%s\t?\t?\tno %s\t\n", nb.Name, *metric)
+			continue
+		}
+		matched++
+		delta := math.Inf(1)
+		if ov != 0 {
+			delta = (nv - ov) / ov * 100
+		}
+		mark := ""
+		worse := delta
+		if *higherBetter {
+			worse = -delta
+		}
+		if *threshold > 0 && worse > *threshold {
+			regressed++
+			mark = "  REGRESSION"
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%+.1f%%%s\t\n", nb.Name, formatMetric(ov), formatMetric(nv), delta, mark)
+	}
+	for _, ob := range oldDoc.Benchmarks {
+		if !seen[ob.Pkg+" "+ob.Name] {
+			fmt.Fprintf(tw, "%s\t%s\t-\tremoved\t\n", ob.Name, formatMetric(ob.Metrics[*metric]))
+		}
+	}
+	tw.Flush()
+
+	if matched == 0 {
+		fmt.Fprintln(stderr, "benchjson: no benchmarks in common between the snapshots")
+		return 2
+	}
+	if regressed > 0 {
+		fmt.Fprintf(stderr, "benchjson: %d benchmark(s) regressed more than %.1f%% on %s\n",
+			regressed, *threshold, *metric)
+		return 1
+	}
+	return 0
+}
+
+func loadDoc(path string) (Doc, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Doc{}, err
+	}
+	var doc Doc
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return Doc{}, fmt.Errorf("%s: %v", path, err)
+	}
+	if len(doc.Benchmarks) == 0 {
+		return Doc{}, fmt.Errorf("%s: no benchmarks in snapshot", path)
+	}
+	return doc, nil
+}
+
+// formatMetric renders a metric value compactly: integers without decimals,
+// everything else with two.
+func formatMetric(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.2f", v)
+}

@@ -1,0 +1,109 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeSnapshot(t *testing.T, dir, name string, doc Doc) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func snap(benchmarks ...Benchmark) Doc { return Doc{Benchmarks: benchmarks} }
+
+func bench(name string, metrics map[string]float64) Benchmark {
+	return Benchmark{Name: name, Runs: 1, Metrics: metrics, Pkg: "nsmac"}
+}
+
+func TestCompareDeltaTable(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", snap(
+		bench("A/kernel=on", map[string]float64{"ns/op": 1000}),
+		bench("B", map[string]float64{"ns/op": 500}),
+		bench("Gone", map[string]float64{"ns/op": 9}),
+	))
+	cur := writeSnapshot(t, dir, "new.json", snap(
+		bench("A/kernel=on", map[string]float64{"ns/op": 1100}),
+		bench("B", map[string]float64{"ns/op": 400}),
+		bench("Fresh", map[string]float64{"ns/op": 7}),
+	))
+
+	var out, errb bytes.Buffer
+	if code := runCompare([]string{old, cur}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d without a threshold, want 0 (stderr: %s)", code, errb.String())
+	}
+	text := out.String()
+	for _, want := range []string{"A/kernel=on", "+10.0%", "B", "-20.0%", "Fresh", "added", "Gone", "removed"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("table lacks %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestCompareThresholdGates(t *testing.T) {
+	dir := t.TempDir()
+	old := writeSnapshot(t, dir, "old.json", snap(
+		bench("A", map[string]float64{"ns/op": 1000}),
+	))
+	cur := writeSnapshot(t, dir, "new.json", snap(
+		bench("A", map[string]float64{"ns/op": 1300}),
+	))
+
+	var out, errb bytes.Buffer
+	if code := runCompare([]string{"-threshold", "10", old, cur}, &out, &errb); code != 1 {
+		t.Fatalf("30%% regression over a 10%% threshold: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("regressed row not marked:\n%s", out.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := runCompare([]string{"-threshold", "50", old, cur}, &out, &errb); code != 0 {
+		t.Fatalf("30%% regression under a 50%% threshold: exit %d, want 0", code)
+	}
+	// An improvement never gates on a cost metric...
+	out.Reset()
+	if code := runCompare([]string{"-threshold", "10", cur, old}, &out, &errb); code != 0 {
+		t.Fatalf("improvement gated: exit %d, want 0", code)
+	}
+	// ...but the same direction gates a throughput metric.
+	oldTp := writeSnapshot(t, dir, "oldtp.json", snap(
+		bench("T", map[string]float64{"cells/sec": 500}),
+	))
+	curTp := writeSnapshot(t, dir, "newtp.json", snap(
+		bench("T", map[string]float64{"cells/sec": 300}),
+	))
+	out.Reset()
+	if code := runCompare([]string{"-metric", "cells/sec", "-higher-better", "-threshold", "10", oldTp, curTp}, &out, &errb); code != 1 {
+		t.Fatalf("throughput drop over threshold: exit %d, want 1", code)
+	}
+}
+
+func TestCompareInputErrors(t *testing.T) {
+	dir := t.TempDir()
+	ok := writeSnapshot(t, dir, "ok.json", snap(bench("A", map[string]float64{"ns/op": 1})))
+	var out, errb bytes.Buffer
+	if code := runCompare([]string{ok}, &out, &errb); code != 2 {
+		t.Errorf("one argument: exit %d, want 2", code)
+	}
+	if code := runCompare([]string{ok, filepath.Join(dir, "missing.json")}, &out, &errb); code != 2 {
+		t.Errorf("missing file: exit %d, want 2", code)
+	}
+	disjoint := writeSnapshot(t, dir, "disjoint.json", snap(bench("Z", map[string]float64{"ns/op": 1})))
+	if code := runCompare([]string{ok, disjoint}, &out, &errb); code != 2 {
+		t.Errorf("disjoint snapshots: exit %d, want 2", code)
+	}
+}

@@ -12,10 +12,19 @@
 //
 //	go test -run '^$' -bench=. -benchtime=1x . | benchjson > BENCH_abc123.json
 //	benchjson -label "$GITHUB_SHA" bench.txt > BENCH_${GITHUB_SHA}.json
+//	benchjson compare -threshold 15 BENCH_old.json BENCH_new.json
 //
 // Exit status is 1 if the input contains a benchmark failure marker (--- FAIL
 // or FAIL at line start) or no benchmark lines at all, so a silently broken
 // bench step cannot archive an empty snapshot.
+//
+// The compare subcommand diffs two archived snapshots benchmark by benchmark
+// (matched on package + name) and prints a delta table for one metric
+// (-metric, default ns/op). With -threshold N it exits 1 when any matched
+// benchmark regressed by more than N percent — upward for cost metrics,
+// downward with -higher-better for throughput metrics — so CI can gate (or
+// merely annotate, with the step marked continue-on-error) perf drift
+// between the previous artifact and the current run.
 package main
 
 import (
@@ -124,6 +133,9 @@ func benchLine(line, pkg string) (Benchmark, bool) {
 }
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "compare" {
+		os.Exit(runCompare(os.Args[2:], os.Stdout, os.Stderr))
+	}
 	var (
 		label = flag.String("label", "", "snapshot label recorded in the document (e.g. the commit SHA)")
 		out   = flag.String("out", "", "write JSON here instead of stdout")

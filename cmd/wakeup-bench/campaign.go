@@ -90,6 +90,7 @@ func runWork(args []string) {
 		hold      = fs.Duration("hold", 0, "pause between lease grant and shard execution (fault-injection hook for kill-mid-lease tests)")
 		progress  = fs.String("progress", "text", "progress on stderr: text | json (one event per line) | none")
 	)
+	prof := addProfileFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: wakeup-bench work -server URL [-id name] [-exec local|subprocess[:bin]|cmd:...] [-progress text|json|none] ...\n")
 		fs.PrintDefaults()
@@ -108,6 +109,8 @@ func runWork(args []string) {
 		}
 		*id = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+
+	defer prof.start()()
 
 	w := &sweep.CampaignWorker{
 		Client:    sweep.NewCampaignClient(*server, nil),

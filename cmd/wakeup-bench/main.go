@@ -377,6 +377,7 @@ func runDispatch(args []string) {
 		progress = fs.String("progress", "text", "per-shard progress on stderr: text | json (one event per line) | none")
 		quiet    = fs.Bool("quiet", false, "shorthand for -progress none")
 	)
+	prof := addProfileFlags(fs)
 	fs.Usage = func() {
 		fmt.Fprintf(fs.Output(), "usage: wakeup-bench run -spec grid.json -shards m [-exec local|subprocess[:bin]|cmd:...] [-store dir [-resume]] ...\n")
 		fs.PrintDefaults()
@@ -404,6 +405,8 @@ func runDispatch(args []string) {
 	default:
 		fail("run: unknown format %q (have text, csv, json)", *format)
 	}
+
+	defer prof.start()()
 
 	doc := readSpecDoc(*specFile)
 	// Surface the dropped-cell report (and any resolve error) before any

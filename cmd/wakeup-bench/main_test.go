@@ -169,3 +169,39 @@ func TestSpecFromStdin(t *testing.T) {
 		t.Fatalf("stdin-spec shard did not emit an envelope:\n%s", out)
 	}
 }
+
+// TestRunSubcommandProfiles: -cpuprofile/-memprofile land complete pprof
+// files (gzip magic, non-empty) next to -out, with no leftover temp files.
+func TestRunSubcommandProfiles(t *testing.T) {
+	bin := buildBench(t)
+	dir := t.TempDir()
+	specPath := filepath.Join(dir, "grid.json")
+	spec := run(t, bin, "-algos", "wakeupc", "-ns", "32", "-ks", "2",
+		"-patterns", "simultaneous", "-trials", "3", "-dump-spec")
+	if err := os.WriteFile(specPath, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	run(t, bin, "run", "-spec", specPath, "-shards", "2", "-quiet",
+		"-out", filepath.Join(dir, "out.txt"), "-cpuprofile", cpu, "-memprofile", mem)
+	for _, path := range []string{cpu, mem} {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("profile not written: %v", err)
+		}
+		// pprof profiles are gzip-compressed protobufs.
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s is not a gzip-compressed profile (len %d)", path, len(data))
+		}
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Errorf("leftover temp file %s after a clean exit", e.Name())
+		}
+	}
+}

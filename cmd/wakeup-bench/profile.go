@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+
+	"nsmac/sweep"
+)
+
+// profileFlags registers the pprof output flags shared by the run and work
+// subcommands.
+type profileFlags struct {
+	cpu *string
+	mem *string
+}
+
+func addProfileFlags(fs *flag.FlagSet) profileFlags {
+	return profileFlags{
+		cpu: fs.String("cpuprofile", "", "write a CPU profile to this file (pprof format, atomic rename on completion)"),
+		mem: fs.String("memprofile", "", "write a heap profile to this file on exit (after a final GC)"),
+	}
+}
+
+// start begins the requested profiles and returns the stop function that
+// flushes them. Both files land atomically: the CPU profile streams into a
+// temp file in the destination directory and is renamed into place on stop,
+// and the heap profile is captured into memory and written with the same
+// temp+rename used for -out — so tooling pointed at the paths never reads a
+// truncated profile. Profiles land only on a clean exit; fail() paths leave
+// at most an unrenamed temp file behind.
+func (p profileFlags) start() (stop func()) {
+	var cpuTmp *os.File
+	if *p.cpu != "" {
+		f, err := os.CreateTemp(filepath.Dir(*p.cpu), "."+filepath.Base(*p.cpu)+".tmp-")
+		if err != nil {
+			fail("-cpuprofile: %v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			fail("-cpuprofile: %v", err)
+		}
+		cpuTmp = f
+	}
+	memPath := *p.mem
+	return func() {
+		if cpuTmp != nil {
+			pprof.StopCPUProfile()
+			name := cpuTmp.Name()
+			if err := cpuTmp.Close(); err != nil {
+				fail("-cpuprofile: %v", err)
+			}
+			if err := os.Rename(name, *p.cpu); err != nil {
+				os.Remove(name)
+				fail("-cpuprofile: %v", err)
+			}
+		}
+		if memPath != "" {
+			runtime.GC() // settle allocation stats before the snapshot
+			var buf bytes.Buffer
+			if err := pprof.WriteHeapProfile(&buf); err != nil {
+				fail("-memprofile: %v", err)
+			}
+			if err := sweep.WriteFileAtomic(memPath, buf.Bytes(), 0o644); err != nil {
+				fail("-memprofile: %v", err)
+			}
+		}
+	}
+}

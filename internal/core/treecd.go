@@ -42,6 +42,18 @@ func (TreeCD) BuildAdaptive(p model.Params, id int, wake int64, _ *rng.Source) m
 	return st
 }
 
+// BuildEpoch implements model.EpochOblivious: the tree station's reaction to
+// silence is a pure pop (every slot's observation pops the top interval, and
+// only a collision pushes), so its silence-projected schedule is a direct
+// read of the current stack — slot pos+i queries the interval i pops down,
+// and once the stack would empty it refills with [1, n], which contains
+// every ID, so all later bits transmit.
+func (TreeCD) BuildEpoch(p model.Params, id int, wake int64, _ *rng.Source) model.EpochStation {
+	st := &treeStation{id: id, n: p.N, pos: wake}
+	st.stack = append(st.stack, interval{1, p.N})
+	return st
+}
+
 // Horizon implements Bounded: the traversal visits at most 2k-1 collision
 // nodes and at most 2k(log n + 1) + 1 total nodes; 4× covers the
 // constant-factor slack of ragged trees.
@@ -59,7 +71,8 @@ type treeStation struct {
 	id      int
 	n       int
 	stack   []interval
-	retired bool // retire after own success so RunAll terminates
+	retired bool  // retire after own success so RunAll terminates
+	pos     int64 // epoch position: first slot not yet observed (epoch path only)
 }
 
 // WillTransmit implements model.AdaptiveStation.
@@ -96,4 +109,56 @@ func (s *treeStation) Observe(t int64, fb model.Feedback, successID int) {
 	if len(s.stack) == 0 {
 		s.stack = append(s.stack, interval{1, s.n})
 	}
+}
+
+// RenderWord implements model.EpochStation: slot pos+i (i silent pops ahead)
+// is governed by stack[d-1-i]; past the stack depth the silent
+// self-simulation has emptied and refilled the stack with [1, n], which
+// contains every ID, so every remaining bit transmits.
+func (s *treeStation) RenderWord(base int64) uint64 {
+	if s.retired {
+		return 0
+	}
+	lo := s.pos
+	if lo < base {
+		lo = base
+	}
+	var w uint64
+	d := int64(len(s.stack))
+	for t := lo; t < base+64; t++ {
+		i := t - s.pos
+		if i >= d {
+			w |= ^uint64(0) << uint(t-base)
+			break
+		}
+		if iv := s.stack[d-1-i]; s.id >= iv.lo && s.id <= iv.hi {
+			w |= 1 << uint(t-base)
+		}
+	}
+	return w
+}
+
+// AdvanceSilent implements model.EpochStation: to-from silent observations
+// are to-from pops — and once the stack empties mid-span, every further pop
+// re-empties the refilled [1, n], so the state collapses to [1, n].
+func (s *treeStation) AdvanceSilent(from, to int64) {
+	cnt := to - from
+	if cnt <= 0 {
+		return
+	}
+	s.pos = to
+	if d := int64(len(s.stack)); cnt >= d {
+		s.stack = append(s.stack[:0], interval{1, s.n})
+		return
+	}
+	s.stack = s.stack[:int64(len(s.stack))-cnt]
+}
+
+// ObserveEvent implements model.EpochStation. A collision's pop-and-split
+// always differs from the silence pop; a foreign success pops exactly like
+// silence; an own success additionally retires the station.
+func (s *treeStation) ObserveEvent(t int64, fb model.Feedback, successID int) bool {
+	s.Observe(t, fb, successID)
+	s.pos = t + 1
+	return fb == model.Collision || (fb == model.Success && successID == s.id)
 }

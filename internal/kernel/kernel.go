@@ -188,8 +188,20 @@ type Kernel struct {
 	wbuf     []uint64 // per-station schedule words of the block being stepped
 	next     int      // index of the first station with wake > t (wake-ordered)
 	class    model.ScheduleClass
+	mode     execMode
 	memo     bool
 	local    bool // memoized in local time, shifted per station
+
+	// Feedback-epoch state (modeEpoch): the adaptive algorithm, the per-trial
+	// station arena (reused across trials; stations themselves are rebuilt
+	// per trial since their state is the trial), and the trial-constant
+	// collision delivery table. deliver is true only when some role hears
+	// collisions (cd, sender_cd) — on every other model a collision is
+	// state-invisible and the word resolves in a single overlay pass.
+	epochAlgo model.EpochOblivious
+	epochs    []epochRef
+	roles     sim.Roles
+	deliver   bool
 
 	// Channel overlay state: the perturbation shape advertised by the cell's
 	// channel model (Kind == PerturbNone on inert channels) and the run's
@@ -222,36 +234,78 @@ func New() *Kernel {
 	}
 }
 
-// Class resolves the schedule class a (algorithm, options) pairing would
-// execute under, reporting ok == false when the pairing must run on the
-// slot-by-slot engine: adaptive runs, trace recording, a perturbing channel
-// that does not advertise a kernel-executable shape, or an algorithm that
-// does not advertise obliviousness.
-func Class(algo model.Algorithm, opt sim.Options) (model.ScheduleClass, bool) {
+// execMode selects which word-wide executor a pairing runs on: the rendered
+// oblivious scan, or the feedback-epoch event loop for adaptive algorithms
+// that declare model.EpochOblivious.
+type execMode int
+
+const (
+	modeOblivious execMode = iota
+	modeEpoch
+)
+
+// classify resolves the execution mode and schedule class of a pairing,
+// reporting ok == false when it must run on the slot-by-slot engine.
+func classify(algo model.Algorithm, opt sim.Options) (execMode, model.ScheduleClass, bool) {
 	if opt.RecordTrace {
 		// The kernel never materializes per-slot events.
-		return model.ScheduleClass{}, false
-	}
-	if opt.Adaptive {
-		if _, ok := algo.(model.Adaptive); ok {
-			return model.ScheduleClass{}, false
-		}
+		return modeOblivious, model.ScheduleClass{}, false
 	}
 	ch := opt.Channel
 	if ch == nil {
 		//nsmac:deprecated-ok the nil-Channel fallback is the enum's audited resolution site
 		ch = opt.Feedback.Model()
 	}
+	perturbing := false
 	if _, ok := ch.(model.SlotPerturber); ok {
 		// A perturbing channel rewrites slot outcomes from its own RNG
 		// stream. The kernel can overlay the shapes declared through
 		// model.KernelPerturber (erasure noise, jam prefixes) on its word
 		// scan in exact draw parity; anything else stays on the engine.
 		if _, ok := ch.(model.KernelPerturber); !ok {
-			return model.ScheduleClass{}, false
+			return modeOblivious, model.ScheduleClass{}, false
+		}
+		perturbing = true
+	}
+	if opt.Adaptive {
+		if _, ok := algo.(model.Adaptive); ok {
+			if _, ok := algo.(model.EpochOblivious); !ok {
+				return modeOblivious, model.ScheduleClass{}, false
+			}
+			// The epoch overlay resolves a perturbed word in a single pass,
+			// which is only sound when a collision is delivered as silence to
+			// every role — true of the perturbing families (all built on the
+			// collision-masking paper channel), but guarded here so a future
+			// perturbing-and-collision-delivering model falls back safely.
+			if perturbing && !collisionSilent(ch) {
+				return modeOblivious, model.ScheduleClass{}, false
+			}
+			// Epoch trials render from live per-trial station state, so
+			// nothing is memoizable across trials: the class is reported
+			// seed-sensitive, and the epoch executor caches no schedules.
+			return modeEpoch, model.ScheduleClass{SeedSensitive: true}, true
 		}
 	}
-	return model.AlgorithmClass(algo)
+	cls, ok := model.AlgorithmClass(algo)
+	return modeOblivious, cls, ok
+}
+
+// collisionSilent reports whether the model delivers a collision as silence
+// to every role — i.e. whether collisions are state-invisible to stations.
+func collisionSilent(ch model.ChannelModel) bool {
+	return ch.Deliver(model.Collision, false, false) == model.Silence &&
+		ch.Deliver(model.Collision, true, false) == model.Silence
+}
+
+// Class resolves the schedule class a (algorithm, options) pairing would
+// execute under, reporting ok == false when the pairing must run on the
+// slot-by-slot engine: trace recording, a perturbing channel that does not
+// advertise a kernel-executable shape, an adaptive run of an algorithm
+// without the model.EpochOblivious capability, or an algorithm that does not
+// advertise obliviousness.
+func Class(algo model.Algorithm, opt sim.Options) (model.ScheduleClass, bool) {
+	_, cls, ok := classify(algo, opt)
+	return cls, ok
 }
 
 // Eligible reports whether the kernel can execute the pairing.
@@ -266,14 +320,19 @@ func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 	if err := sim.ValidateRun(algo, p, w, opt); err != nil {
 		return err
 	}
-	class, ok := Class(algo, opt)
+	mode, class, ok := classify(algo, opt)
 	if !ok {
 		return errIneligible(algo)
 	}
+	k.mode = mode
 	k.class = class
-	k.memo = !class.SeedSensitive
+	k.memo = mode == modeOblivious && !class.SeedSensitive
 	k.local = k.memo && class.WakeSensitive && class.LocalClock
 	k.algo, k.p, k.seed = algo, p, opt.Seed
+	k.epochAlgo = nil
+	if mode == modeEpoch {
+		k.epochAlgo = algo.(model.EpochOblivious)
+	}
 
 	// Channel overlay: resolve the cell's model to its declared perturbation
 	// shape (PerturbNone on inert channels) and position the derived channel
@@ -290,13 +349,26 @@ func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 	}
 	k.jamUsed = 0
 
+	// Epoch delivery table: collision roles are trial-constant (the only
+	// delivered event — a success ends the trial with delivery
+	// state-invisible), so resolve them once. classify guarantees that a
+	// perturbing channel never reaches the delivering branch.
+	k.deliver = false
+	if k.mode == modeEpoch {
+		k.roles = sim.ResolveRoles(ch, model.Collision, 0)
+		k.deliver = k.roles.Listen != model.Silence || k.roles.Sent != model.Silence
+	}
+
 	if k.cacheWords > k.limitWords || k.cacheEntries > k.limitEntries {
 		k.cache = make(map[bucketKey]map[entryKey]*sched)
 		k.cacheEntries = 0
 		k.cacheWords = 0
 		k.curOK = false
 	}
-	if k.memo {
+	if k.mode == modeEpoch {
+		// Epoch trials cache nothing: station state IS the trial, so the
+		// arena below is rebuilt per Reset and only its capacity is reused.
+	} else if k.memo {
 		bk := bucketKey{algo: algo.Name(), config: class.Config, n: p.N, k: p.K, s: p.S}
 		if !k.curOK || bk != k.curKey {
 			bucket, ok := k.cache[bk]
@@ -354,6 +426,29 @@ func (k *Kernel) Reset(algo model.Algorithm, p model.Params, w model.WakePattern
 	k.next = 0
 	k.result = model.Result{SuccessSlot: -1, Rounds: -1}
 	k.done = false
+
+	if k.mode == modeEpoch {
+		// The epoch arena: one ref per awake station, rebuilt per trial
+		// inside the reused backing array. Stations are built lazily in
+		// stepEpoch (st == nil until their word arrives), mirroring the
+		// engine's build-at-activation economy.
+		if cap(k.epochs) < n {
+			k.epochs = make([]epochRef, 0, n)
+		}
+		k.epochs = k.epochs[:0]
+		for i := 0; i < n; i++ {
+			if sw.Wakes[i] >= k.end {
+				// Never activated by the engine either.
+				continue
+			}
+			k.epochs = append(k.epochs, epochRef{id: sw.IDs[i], wake: sw.Wakes[i]})
+		}
+		if cap(k.wbuf) < len(k.epochs) {
+			k.wbuf = make([]uint64, len(k.epochs))
+		}
+		k.wbuf = k.wbuf[:len(k.epochs)]
+		return nil
+	}
 
 	for i := 0; i < n; i++ {
 		id, wake := sw.IDs[i], sw.Wakes[i]
@@ -614,6 +709,9 @@ func (k *Kernel) stepBlock(lo, hi int64) {
 // including its edge semantics: the horizon only flips done when a step
 // past it is actually attempted.
 func (k *Kernel) RunTo(until int64) bool {
+	if k.mode == modeEpoch {
+		return k.runToEpoch(until)
+	}
 	limit := until
 	if limit > k.end {
 		limit = k.end

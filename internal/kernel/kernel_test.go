@@ -407,8 +407,11 @@ func TestKernelEligibility(t *testing.T) {
 	if opt := (sim.Options{Horizon: 10, Adaptive: true}); kernel.Eligible(oblivious, opt) != true {
 		t.Error("Adaptive option on a non-adaptive algorithm is inert; must stay eligible")
 	}
-	if opt := (sim.Options{Horizon: 10, Adaptive: true}); kernel.Eligible(core.NewKGConflictResolution(), opt) {
-		t.Error("adaptive run of an adaptive algorithm must be ineligible")
+	if opt := (sim.Options{Horizon: 10, Adaptive: true}); !kernel.Eligible(core.NewKGConflictResolution(), opt) {
+		t.Error("adaptive run of an EpochOblivious algorithm must route to the epoch executor")
+	}
+	if opt := (sim.Options{Horizon: 10, Adaptive: true}); !kernel.Eligible(core.NewTreeCD(), opt) {
+		t.Error("adaptive run of TreeCD (EpochOblivious) must route to the epoch executor")
 	}
 	// Interleaving propagates: both components oblivious → oblivious.
 	if !kernel.Eligible(core.NewWakeupWithS(), base) {

@@ -23,7 +23,14 @@ through same-type helper methods — must also be mentioned by ObliviousClass
 (folded into ConfigFields, or consulted for the class flags). A field read
 during schedule generation but absent from the Config fingerprint lets two
 distinct configurations share one kernel memo bucket, poisoning the cache
-across configs.`,
+across configs.
+
+The feedback-epoch analogue guards model.EpochStation implementations: every
+receiver field mutated by the station's feedback observers (Observe,
+ObserveEvent, AdvanceSilent — directly or through same-type helpers) must be
+consulted by RenderWord. A field that feedback moves but the render ignores
+makes the rendered epoch word silently stale: the kernel would keep scanning
+a schedule the station no longer follows.`,
 	Run: runScheduleClass,
 }
 
@@ -54,34 +61,143 @@ func buildMethodIndex(pkg *Package) methodIndex {
 	return idx
 }
 
+// epochObservers are the EpochStation methods whose receiver-field writes
+// RenderWord must account for.
+var epochObservers = []string{"Observe", "ObserveEvent", "AdvanceSilent"}
+
 func runScheduleClass(pass *Pass) error {
 	pkg := pass.Pkg
 	idx := buildMethodIndex(pkg)
 	for named, methods := range idx {
-		build, hasBuild := methods["Build"]
-		class, hasClass := methods["ObliviousClass"]
-		if !hasBuild || !hasClass {
-			continue
-		}
-		seen := map[string]bool{}
-		buildFields := fieldsRead(pkg, idx, named, build, seen)
-		seen = map[string]bool{}
-		classFields := fieldsRead(pkg, idx, named, class, seen)
-		var missing []string
-		for name := range buildFields {
-			if !classFields[name] {
-				missing = append(missing, name)
-			}
-		}
-		if len(missing) == 0 {
-			continue
-		}
-		sort.Strings(missing)
-		pass.Reportf(class.Pos(),
-			"%s.ObliviousClass never consults field(s) %s read by Build; fold every schedule-shaping knob into ConfigFields or two configs will share one kernel memo bucket (cache poisoning)",
-			named.Obj().Name(), strings.Join(missing, ", "))
+		checkObliviousClass(pass, pkg, idx, named, methods)
+		checkEpochRender(pass, pkg, idx, named, methods)
 	}
 	return nil
+}
+
+func checkObliviousClass(pass *Pass, pkg *Package, idx methodIndex, named *types.Named, methods map[string]*ast.FuncDecl) {
+	build, hasBuild := methods["Build"]
+	class, hasClass := methods["ObliviousClass"]
+	if !hasBuild || !hasClass {
+		return
+	}
+	buildFields := fieldsRead(pkg, idx, named, build, map[string]bool{})
+	classFields := fieldsRead(pkg, idx, named, class, map[string]bool{})
+	var missing []string
+	for name := range buildFields {
+		if !classFields[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(class.Pos(),
+		"%s.ObliviousClass never consults field(s) %s read by Build; fold every schedule-shaping knob into ConfigFields or two configs will share one kernel memo bucket (cache poisoning)",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// checkEpochRender enforces the epoch-class invariant on every type shaped
+// like a model.EpochStation: the union of receiver fields written by its
+// feedback observers must be a subset of the fields RenderWord reads.
+func checkEpochRender(pass *Pass, pkg *Package, idx methodIndex, named *types.Named, methods map[string]*ast.FuncDecl) {
+	render, hasRender := methods["RenderWord"]
+	if !hasRender {
+		return
+	}
+	written := map[string]bool{}
+	observed := false
+	for _, name := range epochObservers {
+		fd, ok := methods[name]
+		if !ok {
+			continue
+		}
+		observed = true
+		for f := range fieldsWritten(pkg, idx, named, fd, map[string]bool{}) {
+			written[f] = true
+		}
+	}
+	if !observed || len(written) == 0 {
+		return
+	}
+	reads := fieldsRead(pkg, idx, named, render, map[string]bool{})
+	var missing []string
+	for name := range written {
+		if !reads[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(render.Pos(),
+		"%s.RenderWord never consults field(s) %s mutated by its feedback observers (Observe/ObserveEvent/AdvanceSilent); the rendered epoch word goes silently stale when feedback moves state the render ignores",
+		named.Obj().Name(), strings.Join(missing, ", "))
+}
+
+// assignBase strips index, paren and deref layers off an assignment target,
+// so writes through them (s.words[i] = x, *s.p = x) attribute to the field.
+func assignBase(expr ast.Expr) ast.Expr {
+	for {
+		switch e := expr.(type) {
+		case *ast.IndexExpr:
+			expr = e.X
+		case *ast.ParenExpr:
+			expr = e.X
+		case *ast.StarExpr:
+			expr = e.X
+		default:
+			return expr
+		}
+	}
+}
+
+// fieldsWritten collects the names of named's struct fields assigned inside
+// fd's body — assignment statements (including op-assign and append-style
+// self-assignment), inc/dec statements, and writes made by calls to other
+// methods of the same receiver type (the Observe-delegation pattern). seen
+// guards against recursion.
+func fieldsWritten(pkg *Package, idx methodIndex, named *types.Named, fd *ast.FuncDecl, seen map[string]bool) map[string]bool {
+	if seen[fd.Name.Name] {
+		return nil
+	}
+	seen[fd.Name.Name] = true
+	out := map[string]bool{}
+	record := func(target ast.Expr) {
+		sel, ok := assignBase(target).(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		selection := pkg.Info.Selections[sel]
+		if selection == nil || namedOf(selection.Recv()) != named || selection.Kind() != types.FieldVal {
+			return
+		}
+		out[sel.Sel.Name] = true
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range st.Lhs {
+				record(lhs)
+			}
+		case *ast.IncDecStmt:
+			record(st.X)
+		case *ast.SelectorExpr:
+			selection := pkg.Info.Selections[st]
+			if selection == nil || namedOf(selection.Recv()) != named || selection.Kind() != types.MethodVal {
+				return true
+			}
+			if callee, ok := idx[named][st.Sel.Name]; ok {
+				for f := range fieldsWritten(pkg, idx, named, callee, seen) {
+					out[f] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
 }
 
 // fieldsRead collects the names of named's struct fields read inside fd's

@@ -12,3 +12,11 @@ import (
 func TestScheduleClass(t *testing.T) {
 	linttest.Run(t, linttest.TestData(), lint.ScheduleClass, "nsmac/schedfix")
 }
+
+// TestScheduleClassEpoch is the stale-epoch-render regression: the
+// StaleRender fixture's feedback observers mutate a field RenderWord never
+// consults, and the analyzer must say so (and stay quiet on the delegating,
+// inert and non-station fixtures).
+func TestScheduleClassEpoch(t *testing.T) {
+	linttest.Run(t, linttest.TestData(), lint.ScheduleClass, "nsmac/epochfix")
+}

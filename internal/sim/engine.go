@@ -230,29 +230,11 @@ func (e *Engine) step(onSuccess func(slot int64, winner int) bool) bool {
 	}
 
 	if e.useAdaptive {
-		// Delivery is per station — under sender_cd only transmitters learn
-		// of collisions, under ack only the winner hears the success — but
-		// it depends solely on the station's role in the slot, of which
-		// there are three. Compute each role's feedback once per slot so
-		// the model dispatch costs O(1), not O(active).
-		fbListen := e.ch.Deliver(truth, false, false)
-		fbSent := e.ch.Deliver(truth, true, false)
-		fbWon := fbSent
-		if winner != 0 {
-			fbWon = e.ch.Deliver(truth, true, true)
-		}
+		// The role table (see Roles) is shared with the kernel's epoch path,
+		// so both execution paths deliver identical feedback by construction.
+		roles := ResolveRoles(e.ch.Model(), truth, winner)
 		for _, st := range e.active {
-			fb := fbListen
-			if st.sent {
-				fb = fbSent
-				if st.id == winner {
-					fb = fbWon
-				}
-			}
-			obsWinner := 0
-			if fb == model.Success {
-				obsWinner = winner
-			}
+			fb, obsWinner := roles.For(st.sent, st.id)
 			st.adaptive.Observe(t, fb, obsWinner)
 		}
 	}

@@ -1,0 +1,56 @@
+package sim
+
+import "nsmac/internal/model"
+
+// Roles is one slot's feedback-delivery table, resolved once per slot.
+// Delivery is per station — under sender_cd only transmitters learn of
+// collisions, under ack only the winner hears the success — but it depends
+// solely on the station's role in the slot, of which there are three:
+// listener, non-winning transmitter, winner. Resolving each role once keeps
+// the model dispatch O(1) per slot instead of O(active), and sharing the
+// table between the engine and the bitset kernel's epoch path guarantees the
+// two execution paths cannot drift in what they deliver.
+type Roles struct {
+	// Listen is what a non-transmitting station hears.
+	Listen model.Feedback
+	// Sent is what a transmitting, non-winning station hears.
+	Sent model.Feedback
+	// Won is what the successful transmitter hears (equal to Sent when the
+	// slot has no winner).
+	Won model.Feedback
+	// Winner is the successful transmitter's ID, or 0.
+	Winner int
+}
+
+// ResolveRoles computes the delivery table for a slot's effective outcome
+// under the given channel model.
+func ResolveRoles(m model.ChannelModel, truth model.Feedback, winner int) Roles {
+	r := Roles{
+		Listen: m.Deliver(truth, false, false),
+		Sent:   m.Deliver(truth, true, false),
+		Winner: winner,
+	}
+	r.Won = r.Sent
+	if winner != 0 {
+		r.Won = m.Deliver(truth, true, true)
+	}
+	return r
+}
+
+// For returns the feedback one station hears given whether it transmitted in
+// the slot, plus the success ID the station learns (the winner's ID when the
+// delivered feedback is Success, 0 otherwise — a station never learns the
+// winner of a success it did not hear).
+func (r Roles) For(transmitted bool, id int) (model.Feedback, int) {
+	fb := r.Listen
+	if transmitted {
+		fb = r.Sent
+		if id == r.Winner {
+			fb = r.Won
+		}
+	}
+	if fb == model.Success {
+		return fb, r.Winner
+	}
+	return fb, 0
+}

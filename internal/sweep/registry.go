@@ -375,6 +375,38 @@ func init() {
 	// LocalSSF's quadratic ladders leave their feasible regime past k = 64.
 	simpleCase("localssf", func() horizoned { return core.NewLocalSSF() }, scenB, 64)
 
+	// Adaptive cases: feedback-driven algorithms run with Options.Adaptive.
+	// Not part of standardCaseNames ("all" keeps the paper's oblivious
+	// roster); select them explicitly with -algos tree_cd,kg. Both declare
+	// model.EpochOblivious, so their cells route onto the kernel's
+	// feedback-epoch executor unless -no-kernel forces the engine.
+	RegisterCase("tree_cd", func(arg int64, hasArg bool) (Case, error) {
+		if err := noArg("tree_cd", hasArg); err != nil {
+			return Case{}, err
+		}
+		return Case{
+			Name:     "tree_cd",
+			Ref:      "tree_cd",
+			Algo:     func(n, k int) model.Algorithm { return core.NewTreeCD() },
+			Params:   scenC,
+			Horizon:  core.TreeCD{}.Horizon,
+			Adaptive: true,
+		}, nil
+	})
+	RegisterCase("kg", func(arg int64, hasArg bool) (Case, error) {
+		if err := noArg("kg", hasArg); err != nil {
+			return Case{}, err
+		}
+		return Case{
+			Name:     "kg",
+			Ref:      "kg",
+			Algo:     func(n, k int) model.Algorithm { return core.NewKGConflictResolution() },
+			Params:   scenB,
+			Horizon:  (&core.KGConflictResolution{}).Horizon,
+			Adaptive: true,
+		}, nil
+	})
+
 	RegisterPattern("simultaneous", func(arg int64, hasArg bool, shape PatternShape) (adversary.Generator, error) {
 		if hasArg {
 			return adversary.Generator{}, fmt.Errorf("sweep: pattern \"simultaneous\" takes no argument (use @start for the wake slot)")

@@ -32,6 +32,11 @@ type Case struct {
 	// MaxK, when > 0, skips cells with k > MaxK (algorithms whose schedules
 	// grow out of their feasible regime, e.g. LocalSSF's quadratic ladders).
 	MaxK int
+	// Adaptive runs the case's trials with sim.Options.Adaptive: the
+	// algorithm builds feedback-driven stations instead of oblivious
+	// schedules. Adaptive cases skip the white-box pattern families (spoiler,
+	// swap), which probe an algorithm through its oblivious Build.
+	Adaptive bool
 }
 
 // Spec is the declarative sweep: the cross product of Cases × Patterns ×
@@ -111,6 +116,14 @@ func (s Spec) enumerate() (points []cellPoint, labels [][]string, skipped []stri
 				if withChannel {
 					at = fmt.Sprintf("%s×%s", at, ch.Name())
 				}
+				if c.Adaptive && gen.WhiteBox() {
+					// The white-box families construct their pattern through
+					// the algorithm's oblivious Build, which an adaptive-only
+					// algorithm does not implement.
+					skipped = append(skipped,
+						fmt.Sprintf("%s (white-box pattern needs an oblivious schedule; %s is adaptive)", at, c.Name))
+					continue
+				}
 				for _, n := range s.Ns {
 					for _, k := range s.Ks {
 						if k > n || k < 1 {
@@ -181,15 +194,18 @@ func (s Spec) Compile() (Grid, []string, error) {
 	// Kernel routing is decided per cell at compile time via the channel's
 	// capability check: an oblivious algorithm runs word-wide whenever the
 	// cell's channel is non-perturbing or declares a kernel-executable
-	// perturbation shape (model.KernelPerturber: noisy, jam); everything else
-	// keeps the pooled engine. Eligibility depends only on the cell's
-	// (algorithm, channel) pairing, never on a trial's seed or pattern, so
-	// the decision is safe to hoist out of the trial loop.
+	// perturbation shape (model.KernelPerturber: noisy, jam); an adaptive
+	// case routes onto the feedback-epoch executor when its algorithm
+	// declares model.EpochOblivious; everything else keeps the pooled
+	// engine. Eligibility depends only on the cell's (algorithm, channel,
+	// adaptive) pairing, never on a trial's seed or pattern, so the decision
+	// is safe to hoist out of the trial loop.
 	useKernel := make([]bool, len(points))
 	anyKernel := false
 	if !s.DisableKernel {
 		for i, pt := range points {
-			useKernel[i] = kernel.Eligible(pt.c.Algo(pt.n, pt.k), sim.Options{Horizon: 1, Channel: pt.ch})
+			useKernel[i] = kernel.Eligible(pt.c.Algo(pt.n, pt.k),
+				sim.Options{Horizon: 1, Channel: pt.ch, Adaptive: pt.c.Adaptive})
 			anyKernel = anyKernel || useKernel[i]
 		}
 	}
@@ -220,7 +236,7 @@ func (s Spec) Compile() (Grid, []string, error) {
 			// against the cell's algorithm and channel model; black-box
 			// families draw from (n, k, pattern stream) alone.
 			w := pt.gen.Pattern(algo, p, pt.k, horizon, PatternSeed(seed), pt.ch)
-			opt := sim.Options{Horizon: horizon, Seed: seed, Channel: pt.ch}
+			opt := sim.Options{Horizon: horizon, Seed: seed, Channel: pt.ch, Adaptive: pt.c.Adaptive}
 			var res model.Result
 			if useKernel[cell] {
 				kn := kernels.Get().(*kernel.Kernel)
